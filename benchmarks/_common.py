@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, prints the rows/series,
+and writes them under ``benchmarks/results/`` so a ``--benchmark-only`` run
+leaves a full record on disk. ``REPRO_BENCH_SCALE`` (float, default 1.0)
+scales step budgets for quicker or more faithful runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_steps(n: int, minimum: int = 20) -> int:
+    return max(minimum, int(round(n * bench_scale())))
+
+
+def save_result(name: str, text: str) -> None:
+    """Print the result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Ablation: Alg. 1's any-worker sync vote vs a majority quorum.
+
+DESIGN.md calls out the OR-rule as a design choice; this ablation quantifies
+what a weaker quorum would trade: fewer syncs (higher LSSR, less time) vs
+replica-divergence risk (accuracy).
+"""
+
+from _common import once, save_result, scaled_steps
+
+from repro.core import SelSyncTrainer, TrainConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import build_workload
+
+
+def run_votes(n_steps):
+    out = {}
+    for vote in ("any", "majority"):
+        built = build_workload(
+            "resnet_cifar10", n_workers=4, n_steps=n_steps, data_scale=0.25
+        )
+        trainer = SelSyncTrainer(
+            built.workers, built.cluster, schedule=built.schedule,
+            delta=0.3, sync_vote=vote,
+        )
+        cfg = TrainConfig(
+            n_steps=n_steps, eval_every=max(20, n_steps // 5), eval_fn=built.eval_fn
+        )
+        out[vote] = trainer.run(cfg)
+    return out
+
+
+def test_ablation_any_vs_majority(benchmark):
+    out = once(benchmark, lambda: run_votes(scaled_steps(180)))
+    rows = [
+        [v, round(r.lssr, 3), round(r.best_metric, 3), round(r.sim_time, 1)]
+        for v, r in out.items()
+    ]
+    save_result(
+        "ablation_any_vs_majority",
+        render_table(
+            ["sync_vote", "lssr", "best_acc", "sim_time_s"],
+            rows,
+            title="Ablation: any-worker OR-rule vs majority quorum (delta=0.3)",
+        ),
+    )
+    # A majority quorum can only reduce synchronization frequency.
+    assert out["majority"].lssr >= out["any"].lssr - 1e-9

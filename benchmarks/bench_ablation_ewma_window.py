@@ -1,0 +1,51 @@
+"""Ablation: EWMA window sensitivity (the paper fixes w=25 after Fig. 8a)."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.core import SelSyncTrainer, TrainConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import build_workload
+
+WINDOWS = (1, 5, 25, 100)
+
+
+def run_windows(n_steps):
+    out = {}
+    for w in WINDOWS:
+        built = build_workload(
+            "resnet_cifar10", n_workers=4, n_steps=n_steps, data_scale=0.25
+        )
+        trainer = SelSyncTrainer(
+            built.workers, built.cluster, schedule=built.schedule,
+            delta=0.3, ewma_window=w,
+        )
+        cfg = TrainConfig(
+            n_steps=n_steps, eval_every=max(20, n_steps // 5), eval_fn=built.eval_fn
+        )
+        out[w] = trainer.run(cfg)
+    return out
+
+
+def test_ablation_ewma_window(benchmark):
+    out = once(benchmark, lambda: run_windows(scaled_steps(150)))
+    rows = [
+        [w, round(r.lssr, 3), round(r.best_metric, 3)] for w, r in out.items()
+    ]
+    save_result(
+        "ablation_ewma_window",
+        render_table(
+            ["ewma_window", "lssr", "best_acc"],
+            rows,
+            title="Ablation: smoothing window vs sync behaviour (delta=0.3)",
+        ),
+    )
+    # All windows must deliver usable accuracy; the default w=25 should not
+    # be worse than the noisy w=1 tracker.
+    assert out[25].best_metric >= out[1].best_metric - 0.05
+
+
+def test_ablation_alpha_is_cluster_scaled():
+    """The paper sets alpha = N/100; verify the trainer's default follows."""
+    built = build_workload("resnet_cifar10", n_workers=4, n_steps=10, data_scale=0.1)
+    trainer = SelSyncTrainer(built.workers, built.cluster, delta=0.3)
+    assert trainer.trackers[0].alpha == 0.04

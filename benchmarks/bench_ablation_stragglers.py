@@ -1,0 +1,60 @@
+"""Ablation: systems heterogeneity (§II-A/§II-C motivation).
+
+With a quarter of the workers running at half speed, BSP pays the straggler
+on every barrier; SSP's asynchrony sidesteps it; SelSync pays it only on the
+steps it chooses to synchronize. This quantifies the paper's premise that
+the barrier — not just the bytes — is what hurts.
+"""
+
+from _common import once, save_result, scaled_steps
+
+from repro.core import BSPTrainer, SSPTrainer, SelSyncTrainer, TrainConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import build_workload
+
+SPEEDS = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.5, 0.5]  # 25% slow workers
+
+
+def run_methods(n_steps):
+    out = {}
+    for label, make in (
+        ("bsp", lambda b: BSPTrainer(b.workers, b.cluster, schedule=b.schedule)),
+        ("ssp s=50", lambda b: SSPTrainer(
+            b.workers, b.cluster, schedule=b.schedule, staleness=50)),
+        ("selsync d=0.3", lambda b: SelSyncTrainer(
+            b.workers, b.cluster, schedule=b.schedule, delta=0.3)),
+    ):
+        built = build_workload(
+            "vgg_cifar100",
+            n_workers=len(SPEEDS),
+            n_steps=n_steps,
+            data_scale=0.25,
+            cluster_kwargs={"speeds": SPEEDS, "jitter_sigma": 0.05},
+            dataset_overrides={"n_classes": 30},
+        )
+        cfg = TrainConfig(
+            n_steps=n_steps, eval_every=max(20, n_steps // 4), eval_fn=built.eval_fn
+        )
+        out[label] = make(built).run(cfg)
+    return out
+
+
+def test_ablation_stragglers(benchmark):
+    out = once(benchmark, lambda: run_methods(scaled_steps(100)))
+    rows = [
+        [label, round(r.best_metric, 3), round(r.sim_time, 1),
+         round(r.log.total_comm_time, 1)]
+        for label, r in out.items()
+    ]
+    save_result(
+        "ablation_stragglers",
+        render_table(
+            ["method", "best_acc", "sim_time_s", "comm_time_s"],
+            rows,
+            title="Ablation: 25% of workers at half speed (VGG, N=8)",
+        ),
+    )
+    # SelSync's local steps dodge most barriers: faster than BSP here.
+    assert out["selsync d=0.3"].sim_time < out["bsp"].sim_time
+    # SSP never waits for the barrier at all.
+    assert out["ssp s=50"].sim_time < out["bsp"].sim_time

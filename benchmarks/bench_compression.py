@@ -1,0 +1,87 @@
+"""Related-work comparison (§II-D): gradient-compression baselines vs SelSync.
+
+Runs BSP with each compressor plus SelSync on the same workload and reports
+bytes-on-the-wire, simulated time and final accuracy — the trade-off space
+the paper positions SelSync against.
+"""
+
+from _common import once, save_result, scaled_steps
+
+from repro.core import BSPTrainer, SelSyncTrainer, TrainConfig
+from repro.core.compression import build_compressor
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import build_workload
+
+COMPRESSORS = [
+    ("none", None),
+    ("topk_1pct", ("topk", {"ratio": 0.01})),
+    ("dgc_1pct", ("dgc", {"ratio": 0.01})),
+    ("signsgd", ("signsgd", {})),
+    ("terngrad", ("terngrad", {})),
+    ("powersgd_r2", ("powersgd", {"rank": 2})),
+    ("accordion", ("accordion", {"low_ratio": 0.01, "high_ratio": 0.1, "delta": 0.05})),
+]
+
+
+def run_grid(n_steps):
+    results = []
+    for label, comp_spec in COMPRESSORS:
+        built = build_workload(
+            "vgg_cifar100", n_workers=4, n_steps=n_steps, data_scale=0.25,
+            dataset_overrides={"n_classes": 30},
+        )
+        comp = (
+            None if comp_spec is None else build_compressor(comp_spec[0], **comp_spec[1])
+        )
+        trainer = BSPTrainer(
+            built.workers, built.cluster, schedule=built.schedule, compressor=comp
+        )
+        cfg = TrainConfig(
+            n_steps=n_steps, eval_every=max(20, n_steps // 5), eval_fn=built.eval_fn
+        )
+        res = trainer.run(cfg)
+        results.append((f"bsp+{label}", res))
+    built = build_workload(
+        "vgg_cifar100", n_workers=4, n_steps=n_steps, data_scale=0.25,
+        dataset_overrides={"n_classes": 30},
+    )
+    trainer = SelSyncTrainer(
+        built.workers, built.cluster, schedule=built.schedule, delta=0.05
+    )
+    cfg = TrainConfig(
+        n_steps=n_steps, eval_every=max(20, n_steps // 5), eval_fn=built.eval_fn
+    )
+    results.append(("selsync d=0.05", trainer.run(cfg)))
+    return results
+
+
+def test_compression_comparison(benchmark):
+    n_steps = scaled_steps(150)
+    results = once(benchmark, lambda: run_grid(n_steps))
+    rows = [
+        [
+            label,
+            round(r.best_metric, 3),
+            round(r.sim_time, 1),
+            round(r.log.total_comm_time, 1),
+        ]
+        for label, r in results
+    ]
+    save_result(
+        "compression_comparison",
+        render_table(
+            ["method", "best_acc", "sim_time_s", "comm_time_s"],
+            rows,
+            title="SS II-D comparators vs SelSync on VGG/CIFAR100-like (N=4)",
+        ),
+    )
+    by = dict(results)
+    dense = by["bsp+none"]
+    # Every compressor must cut communication time vs dense BSP.
+    for label, r in results:
+        if label.startswith("bsp+") and label != "bsp+none":
+            assert r.log.total_comm_time < dense.log.total_comm_time
+    # SelSync is competitive in accuracy while cutting total time.
+    sel = by["selsync d=0.05"]
+    assert sel.best_metric >= dense.best_metric - 0.05
+    assert sel.sim_time < dense.sim_time

@@ -1,0 +1,48 @@
+"""Fig. 1a/1b: PS throughput scaling and FedAvg IID-vs-non-IID gap."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+CLUSTERS = (1, 2, 4, 8, 16)
+
+
+def test_fig1a_relative_throughput(benchmark):
+    out = once(benchmark, lambda: figures.fig1a_relative_throughput(CLUSTERS))
+    rows = [[m, *[round(v, 2) for v in series]] for m, series in out.items()]
+    save_result(
+        "fig1a_relative_throughput",
+        render_table(
+            ["model", *[f"N={n}" for n in CLUSTERS]],
+            rows,
+            title="Fig 1a: relative throughput vs cluster size (PS, 5 Gbps)",
+        ),
+    )
+    # Shape claims: sublinear everywhere; VGG11 < 1 at N=2; ResNet ≈ 3x at 16.
+    assert all(series[-1] < 16 for series in out.values())
+    assert out["vgg11"][1] < 1.0
+    assert 1.5 < out["resnet101"][-1] < 6.0
+
+
+def test_fig1b_fedavg_iid_vs_noniid(benchmark):
+    out = once(
+        benchmark,
+        lambda: figures.fig1b_fedavg_iid_vs_noniid(
+            n_workers=6, n_steps=scaled_steps(200), data_scale=0.3
+        ),
+    )
+    rows = [
+        [w, round(v["iid"], 3), round(v["noniid"], 3)] for w, v in out.items()
+    ]
+    save_result(
+        "fig1b_fedavg_iid_vs_noniid",
+        render_table(
+            ["workload", "iid_acc", "noniid_acc"],
+            rows,
+            title="Fig 1b: FedAvg (C=1, E=0.1) on balanced vs label-skewed data",
+        ),
+    )
+    # Non-IID must hurt on every workload.
+    for v in out.values():
+        assert v["noniid"] <= v["iid"] + 0.02

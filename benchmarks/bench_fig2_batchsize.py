@@ -1,0 +1,33 @@
+"""Fig. 2: compute time and memory vs batch size (the SSP Nb argument)."""
+
+from _common import once, save_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+BATCHES = (16, 32, 64, 128, 256, 512)
+
+
+def test_fig2_batchsize_scaling(benchmark):
+    out = once(benchmark, lambda: figures.fig2_batchsize_scaling(BATCHES))
+
+    time_rows = [
+        [m, *[f"{t*1e3:.1f}" for t in d["compute_time_s"]]] for m, d in out.items()
+    ]
+    mem_rows = [
+        [m, *[f"{b/1e6:.1f}" for b in d["memory_bytes"]]] for m, d in out.items()
+    ]
+    headers = ["model", *[f"b={b}" for b in BATCHES]]
+    save_result(
+        "fig2a_compute_time_ms",
+        render_table(headers, time_rows, title="Fig 2a: K80 compute time (ms) vs batch"),
+    )
+    save_result(
+        "fig2b_memory_mb",
+        render_table(headers, mem_rows, title="Fig 2b: worker memory (MB) vs batch"),
+    )
+    for d in out.values():
+        t = d["compute_time_s"]
+        m = d["memory_bytes"]
+        assert t == sorted(t)  # compute rises with batch
+        assert m == sorted(m)  # memory rises with batch (the OOM mechanism)

@@ -1,0 +1,39 @@
+"""Fig. 3: gradient densities concentrate near zero as training progresses."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+from repro.utils.asciiplot import line_plot
+
+
+def test_fig3_gradient_kde(benchmark):
+    out = once(
+        benchmark,
+        lambda: figures.fig3_gradient_kde(
+            workload="resnet_cifar10",
+            n_workers=2,
+            early_steps=10,
+            late_steps=scaled_steps(400),
+            data_scale=0.4,
+        ),
+    )
+    peak = {k: float(v["density"].max()) for k, v in out.items()}
+    rows = [
+        [phase, f"{out[phase]['std']:.6f}", f"{peak[phase]:.1f}"]
+        for phase in ("early", "late")
+    ]
+    text = render_table(
+        ["phase", "grad_std", "kde_peak"],
+        rows,
+        title="Fig 3: probe-layer gradient distribution, early vs late epoch",
+    )
+    for phase in ("early", "late"):
+        text += "\n\n" + line_plot(
+            out[phase]["density"], width=64, height=8,
+            label=f"KDE ({phase}) over gradient value grid",
+        )
+    save_result("fig3_gradient_kde", text)
+    # The late density must be narrower (smaller std) and taller at 0.
+    assert out["late"]["std"] < out["early"]["std"]
+    assert peak["late"] > peak["early"]

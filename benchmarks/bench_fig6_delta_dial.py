@@ -1,0 +1,39 @@
+"""Fig. 6: the δ threshold dials training between BSP and pure local-SGD."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+DELTAS = (0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 1e9)
+
+
+def test_fig6_delta_dial(benchmark):
+    out = once(
+        benchmark,
+        lambda: figures.fig6_delta_dial(
+            deltas=DELTAS,
+            workload="resnet_cifar10",
+            n_workers=2,
+            n_steps=scaled_steps(120),
+            data_scale=0.25,
+        ),
+    )
+    rows = [
+        [d, round(v["lssr"], 3), round(v["metric"], 3), round(v["sim_time"], 1)]
+        for d, v in out.items()
+    ]
+    save_result(
+        "fig6_delta_dial",
+        render_table(
+            ["delta", "lssr", "final_metric", "sim_time_s"],
+            rows,
+            title="Fig 6: LSSR vs delta (0 => BSP, large => local-SGD)",
+        ),
+    )
+    assert out[0.0]["lssr"] == 0.0
+    assert out[1e9]["lssr"] > 0.9
+    lssrs = [out[d]["lssr"] for d in DELTAS]
+    assert lssrs == sorted(lssrs)  # monotone dial
+    # Communication savings translate into simulated time savings.
+    assert out[1e9]["sim_time"] < out[0.0]["sim_time"]

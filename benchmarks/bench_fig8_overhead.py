@@ -1,0 +1,50 @@
+"""Fig. 8: SelSync's bookkeeping overheads (Δ tracker, SelDP partitioner)."""
+
+from _common import once, save_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+WINDOWS = (25, 50, 100, 200)
+
+
+def test_fig8a_tracker_overhead(benchmark):
+    out = once(
+        benchmark,
+        lambda: figures.fig8a_tracker_overhead(
+            windows=WINDOWS, grad_size=200_000, n_updates=300
+        ),
+    )
+    rows = [[w, f"{ms:.4f}"] for w, ms in out.items()]
+    save_result(
+        "fig8a_tracker_overhead",
+        render_table(
+            ["window", "ms_per_iteration"],
+            rows,
+            title="Fig 8a: delta(g) + EWMA overhead vs smoothing window",
+        ),
+    )
+    # Overhead grows with the window (O(w) smoothing pass) yet stays tiny
+    # relative to typical compute/communication times (<< 1 ms here).
+    assert out[200] > out[25]
+    assert out[200] < 50.0
+
+
+def test_fig8b_partition_overhead(benchmark):
+    out = once(benchmark, lambda: figures.fig8b_partition_overhead(repeats=3))
+    rows = [
+        [name, f"{v['defdp_s']:.4f}", f"{v['seldp_s']:.4f}"]
+        for name, v in out.items()
+    ]
+    save_result(
+        "fig8b_partition_overhead",
+        render_table(
+            ["dataset", "defdp_s", "seldp_s"],
+            rows,
+            title="Fig 8b: one-time partitioning cost at paper dataset scales",
+        ),
+    )
+    # SelDP costs more but the margin is a one-time cost of seconds at most.
+    for v in out.values():
+        assert v["seldp_s"] >= v["defdp_s"] * 0.5
+        assert v["seldp_s"] < 30.0

@@ -1,0 +1,44 @@
+"""Fig. 9: SelSync (gradient aggregation) with SelDP vs DefDP partitioning."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+
+def run_both(n_steps):
+    """Paper δ=0.25 maps to different points of each workload's Δ(g) range;
+    use the per-workload mapped value (see EXPERIMENTS.md δ-scale note)."""
+    out = figures.fig9_seldp_vs_defdp(
+        workloads=("resnet_cifar10",), delta=0.1,
+        n_workers=4, n_steps=n_steps, data_scale=0.3,
+    )
+    out.update(
+        figures.fig9_seldp_vs_defdp(
+            workloads=("vgg_cifar100",), delta=0.2,
+            n_workers=4, n_steps=n_steps, data_scale=0.3,
+        )
+    )
+    return out
+
+
+def test_fig9_seldp_vs_defdp(benchmark):
+    out = once(benchmark, lambda: run_both(scaled_steps(220)))
+    rows = [
+        [w, round(v["seldp"], 3), round(v["defdp"], 3)] for w, v in out.items()
+    ]
+    save_result(
+        "fig9_seldp_vs_defdp",
+        render_table(
+            ["workload", "seldp_acc", "defdp_acc"],
+            rows,
+            title="Fig 9: SelSync (GA, per-workload mapped delta) accuracy per partitioning",
+        ),
+    )
+    # SelDP must beat DefDP where per-shard sample scarcity bites (the
+    # ResNet case is the statistically solid one at bench scale). On the
+    # synthetic datasets the paper's *feature deprivation* mechanism is
+    # attenuated — see EXPERIMENTS.md Fig. 9 caveat — so the VGG case only
+    # gets a tolerance check against losing badly.
+    assert out["resnet_cifar10"]["seldp"] > out["resnet_cifar10"]["defdp"]
+    assert out["vgg_cifar100"]["seldp"] >= out["vgg_cifar100"]["defdp"] - 0.08

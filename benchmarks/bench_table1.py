@@ -1,0 +1,64 @@
+"""Table I: the full method grid — BSP / FedAvg×4 / SSP×2 / SelSync×2 across
+the four workloads, reporting iterations, LSSR, metric, convergence
+difference and speedup vs BSP."""
+
+from _common import once, save_result, scaled_steps
+
+from repro.experiments.reporting import render_table1
+from repro.experiments.table1 import DEFAULT_METHODS, run_table1
+
+
+def test_table1_full_grid(benchmark):
+    rows = once(
+        benchmark,
+        lambda: run_table1(
+            workloads=(
+                "resnet_cifar10",
+                "vgg_cifar100",
+                "alexnet_imagenet",
+                "transformer_wikitext",
+            ),
+            methods=tuple(DEFAULT_METHODS),
+            n_workers=4,
+            # The paper's protocol: a generous cap with early stopping —
+            # semi-synchronous methods legitimately need more iterations
+            # than BSP (Table I: SelSync ran ~2x BSP's steps on ResNet101).
+            n_steps=scaled_steps(250),
+            eval_every=25,
+            patience=4,
+            data_scale=0.25,
+            conv_tolerance=0.02,
+        ),
+    )
+    save_result("table1", render_table1(rows))
+
+    by = {(r.workload, r.method): r for r in rows}
+
+    def sel_rows(workload):
+        return [r for r in rows if r.workload == workload and "SelSync" in r.method]
+
+    for workload in ("resnet_cifar10", "vgg_cifar100", "alexnet_imagenet",
+                     "transformer_wikitext"):
+        bsp = by[(workload, "BSP")]
+        assert bsp.lssr == 0.0 and bsp.speedup == 1.0
+        for r in sel_rows(workload):
+            # SelSync's core claims: substantial LSSR, BSP-level quality,
+            # and real time savings whenever quality is matched.
+            assert r.lssr > 0.3
+            if r.speedup is not None:
+                assert r.speedup > 1.0
+
+    # At least one SelSync config matches-or-beats BSP on most workloads
+    # (the paper reports all four; at bench scale we require ≥3 of 4).
+    matched = sum(
+        any(r.outperforms_bsp for r in sel_rows(w))
+        for w in ("resnet_cifar10", "vgg_cifar100", "alexnet_imagenet",
+                  "transformer_wikitext")
+    )
+    assert matched >= 3
+
+    # FedAvg's LSSR always exceeds SelSync's (fixed rare schedule vs
+    # significance-driven sync) — the paper's Table I pattern.
+    for workload in ("resnet_cifar10", "vgg_cifar100"):
+        fed = by[(workload, "FedAvg (1, 0.25)")]
+        assert fed.lssr > 0.5

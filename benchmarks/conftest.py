@@ -1,0 +1,8 @@
+"""Benchmark-suite conftest: make `_common` importable from any cwd."""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = str(Path(__file__).parent)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)

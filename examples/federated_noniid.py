@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Non-IID federated training with randomized data injection (§III-E).
+
+Partitions the CIFAR10-like dataset with one label per worker (the paper's
+harshest skew), then compares:
+
+* FedAvg (C=1, E=0.1) — the standard federated baseline,
+* SelSync with three (α, β, δ) data-injection configurations, with the
+  local batch shrunk to b' = b / (1 + αβN) per Eqn. (3).
+
+Run:  python examples/federated_noniid.py
+"""
+
+from repro.data.injection import DataInjector, injected_batch_size
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import MethodSpec, run_method
+from repro.experiments.workloads import get_workload
+
+N_WORKERS = 5
+N_STEPS = 200
+BASE_BATCH = 32
+# Paper's (α, β, δ) with δ mapped to this substrate's Δ(g) scale
+# (see EXPERIMENTS.md: thresholds are matched by realized LSSR).
+CONFIGS = ((0.5, 0.5, 0.02), (0.5, 0.5, 0.1), (0.75, 0.75, 0.1))
+
+
+def build(batch_size=BASE_BATCH):
+    return get_workload("resnet_cifar10").build(
+        n_workers=N_WORKERS,
+        n_steps=N_STEPS,
+        partition_scheme="noniid",
+        labels_per_worker=1,
+        data_scale=0.3,
+        batch_size=batch_size,
+        seed=0,
+    )
+
+
+def main() -> None:
+    rows = []
+
+    built = build()
+    fed = run_method(
+        MethodSpec("fedavg", {"c_fraction": 1.0, "e_factor": 0.1}),
+        built,
+        n_steps=N_STEPS,
+        eval_every=50,
+    )
+    rows.append(["FedAvg (1, 0.1)", BASE_BATCH, round(fed.best_metric, 3)])
+
+    for alpha, beta, delta in CONFIGS:
+        b_prime = injected_batch_size(BASE_BATCH, alpha, beta, N_WORKERS)
+        built = build(batch_size=b_prime)
+        injector = DataInjector(
+            alpha, beta, N_WORKERS,
+            sample_nbytes=built.train.sample_nbytes, rng=13,
+        )
+        res = run_method(
+            MethodSpec("selsync", {"delta": delta, "injector": injector}),
+            built,
+            n_steps=N_STEPS,
+            eval_every=50,
+        )
+        rows.append(
+            [f"SelSync ({alpha}, {beta}, {delta})", b_prime, round(res.best_metric, 3)]
+        )
+
+    print(
+        render_table(
+            ["method", "local_batch", "best_acc"],
+            rows,
+            title="Non-IID (1 label/worker): FedAvg vs SelSync + data injection",
+        )
+    )
+    print(
+        "\nStronger injection improves the effective data distribution each "
+        "worker sees, and SelSync's significance-driven syncs do the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (no wheel available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "SelSync: accelerating distributed ML training via selective "
+        "synchronization (CLUSTER 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+)

@@ -1,0 +1,46 @@
+"""SelSync reproduction: selective synchronization for distributed training.
+
+Reproduction of *Accelerating Distributed ML Training via Selective
+Synchronization* (Tyagi & Swany, IEEE CLUSTER 2023) as a self-contained
+numpy library: a gradient-checked NN substrate, a simulated multi-worker
+cluster with an explicit communication cost model, the SelSync algorithm
+(delta-thresholded relative-gradient-change synchronization, PA/GA
+aggregation, SelDP partitioning, non-IID data injection) and the
+BSP / FedAvg / SSP / compression baselines it is evaluated against.
+
+Quickstart::
+
+    from repro.experiments.workloads import get_workload
+    from repro.experiments.runner import MethodSpec, run_method
+
+    built = get_workload("resnet_cifar10").build(n_workers=4, n_steps=300)
+    result = run_method(MethodSpec("selsync", {"delta": 0.3}), built, n_steps=300)
+    print(result.final_metric, result.lssr, result.sim_time)
+"""
+
+__version__ = "0.1.0"
+
+from repro.core import (
+    BSPTrainer,
+    ClusterConfig,
+    FedAvgTrainer,
+    LocalSGDTrainer,
+    RelativeGradChange,
+    SSPTrainer,
+    SelSyncTrainer,
+    TrainConfig,
+)
+from repro.core.trainer import TrainResult
+
+__all__ = [
+    "__version__",
+    "RelativeGradChange",
+    "SelSyncTrainer",
+    "BSPTrainer",
+    "FedAvgTrainer",
+    "SSPTrainer",
+    "LocalSGDTrainer",
+    "ClusterConfig",
+    "TrainConfig",
+    "TrainResult",
+]

@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Train one method on one workload and print the summary (optionally
+    persisting the run log as JSONL).
+``compare``
+    Run several methods on the same workload and print a comparison table.
+``workloads`` / ``methods``
+    List the available registries.
+``table1``
+    Regenerate the paper's Table I at a configurable scale.
+``fig``
+    Run one figure generator at a quick scale and print its data.
+
+Examples::
+
+    python -m repro run --workload resnet_cifar10 --method selsync --delta 0.3
+    python -m repro compare --workload vgg_cifar100 --methods bsp,selsync,fedavg
+    python -m repro table1 --workloads resnet_cifar10 --steps 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.reporting import render_table, render_table1
+from repro.experiments.runner import MethodSpec, run_method
+from repro.experiments.workloads import WORKLOADS, get_workload
+from repro.utils.serialization import save_runlog
+
+
+def _method_spec(args) -> MethodSpec:
+    params = {}
+    if args.method == "selsync":
+        params["delta"] = args.delta
+        params["aggregation"] = args.aggregation
+    elif args.method == "fedavg":
+        params["c_fraction"] = args.c_fraction
+        params["e_factor"] = args.e_factor
+    elif args.method == "ssp":
+        params["staleness"] = args.staleness
+    elif args.method == "easgd":
+        params["rho"] = args.rho
+        params["tau"] = args.tau
+    return MethodSpec(args.method, params)
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="resnet_cifar10", choices=list(WORKLOADS))
+    p.add_argument("--n-workers", type=int, default=4)
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--eval-every", type=int, default=50)
+    p.add_argument(
+        "--partition", default=None, choices=[None, "seldp", "defdp", "noniid"],
+        help="default: seldp for selsync, defdp otherwise",
+    )
+    p.add_argument("--labels-per-worker", type=int, default=1)
+    p.add_argument("--data-scale", type=float, default=0.3)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_method_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--method", default="selsync",
+        choices=["bsp", "selsync", "fedavg", "ssp", "localsgd", "easgd"],
+    )
+    p.add_argument("--delta", type=float, default=0.3, help="selsync threshold")
+    p.add_argument("--aggregation", default="params", choices=["params", "grads"])
+    p.add_argument("--c-fraction", type=float, default=1.0, help="fedavg C")
+    p.add_argument("--e-factor", type=float, default=0.25, help="fedavg E")
+    p.add_argument("--staleness", type=int, default=100, help="ssp s")
+    p.add_argument("--rho", type=float, default=0.1, help="easgd elasticity")
+    p.add_argument("--tau", type=int, default=4, help="easgd period")
+
+
+def _build(args, spec: MethodSpec):
+    scheme = args.partition or ("seldp" if spec.kind == "selsync" else "defdp")
+    return get_workload(args.workload).build(
+        n_workers=args.n_workers,
+        n_steps=args.steps,
+        partition_scheme=scheme,
+        labels_per_worker=args.labels_per_worker,
+        data_scale=args.data_scale,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args) -> int:
+    spec = _method_spec(args)
+    built = _build(args, spec)
+    res = run_method(
+        spec, built, n_steps=args.steps, eval_every=args.eval_every
+    )
+    rows = [
+        ["method", spec.display],
+        ["workload", args.workload],
+        ["iterations", res.steps],
+        ["best_metric", res.best_metric],
+        ["final_metric", res.final_metric],
+        ["lssr", res.lssr],
+        ["sim_time_s", round(res.sim_time, 2)],
+    ]
+    print(render_table(["field", "value"], rows))
+    if args.save_log:
+        save_runlog(res.log, args.save_log)
+        print(f"run log written to {args.save_log}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for name in args.methods.split(","):
+        name = name.strip()
+        ns = argparse.Namespace(**vars(args))
+        ns.method = name
+        spec = _method_spec(ns)
+        built = _build(args, spec)
+        res = run_method(
+            spec, built, n_steps=args.steps, eval_every=args.eval_every
+        )
+        rows.append(
+            [
+                spec.display,
+                res.best_metric,
+                res.lssr,
+                round(res.sim_time, 2),
+                round(res.log.total_comm_time, 2),
+            ]
+        )
+    print(
+        render_table(
+            ["method", "best_metric", "lssr", "sim_time_s", "comm_time_s"],
+            rows,
+            title=f"{args.workload} — {args.n_workers} workers, {args.steps} steps",
+        )
+    )
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    for name in WORKLOADS:
+        w = get_workload(name)
+        print(
+            f"{name}: {w.model_name} on {w.dataset_name} "
+            f"(b={w.batch_size}, metric={w.metric})"
+        )
+    return 0
+
+
+def cmd_methods(_args) -> int:
+    from repro.experiments.runner import _TRAINERS
+
+    for name, cls in sorted(_TRAINERS.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name}: {doc}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.table1 import DEFAULT_METHODS, run_table1
+
+    workloads = tuple(args.workloads.split(","))
+    rows = run_table1(
+        workloads=workloads,
+        methods=tuple(DEFAULT_METHODS),
+        n_workers=args.n_workers,
+        n_steps=args.steps,
+        eval_every=args.eval_every,
+        data_scale=args.data_scale,
+        seed=args.seed,
+    )
+    print(render_table1(rows))
+    return 0
+
+
+#: quick-scale runners for the `fig` subcommand (name → zero-arg callable).
+def _fig_runners():
+    from repro.experiments import figures as F
+
+    return {
+        "fig1a": lambda: F.fig1a_relative_throughput(),
+        "fig2": lambda: F.fig2_batchsize_scaling(batch_sizes=(16, 64, 256)),
+        "fig4": lambda: F.fig4_hessian_vs_gradient(n_steps=40),
+        "fig6": lambda: F.fig6_delta_dial(
+            deltas=(0.0, 0.1, 1e9), n_workers=2, n_steps=60, data_scale=0.15
+        ),
+        "fig8a": lambda: F.fig8a_tracker_overhead(n_updates=100),
+        "fig8b": lambda: F.fig8b_partition_overhead(repeats=1),
+    }
+
+
+def cmd_fig(args) -> int:
+    runners = _fig_runners()
+    if args.name not in runners:
+        print(f"unknown figure {args.name!r}; choices: {sorted(runners)}")
+        return 2
+    result = runners[args.name]()
+    import pprint
+
+    pprint.pprint(result)
+    return 0
+
+
+def cmd_results(args) -> int:
+    """Collate benchmarks/results/*.txt into one report."""
+    from pathlib import Path
+
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"no results directory at {results_dir}; run the benchmarks first")
+        return 1
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no result files in {results_dir}")
+        return 1
+    blocks = []
+    for f in files:
+        blocks.append(f"## {f.stem}\n\n```\n{f.read_text().rstrip()}\n```")
+    report = "# SelSync reproduction — collected benchmark results\n\n" + "\n\n".join(blocks) + "\n"
+    out_path = Path(args.output)
+    out_path.write_text(report)
+    print(f"wrote {out_path} ({len(files)} result blocks)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SelSync reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="train one method on one workload")
+    _add_workload_args(p_run)
+    _add_method_args(p_run)
+    p_run.add_argument("--save-log", default=None, help="write run log JSONL here")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare methods on a workload")
+    _add_workload_args(p_cmp)
+    _add_method_args(p_cmp)
+    p_cmp.add_argument(
+        "--methods", default="bsp,selsync", help="comma-separated method names"
+    )
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_wl = sub.add_parser("workloads", help="list available workloads")
+    p_wl.set_defaults(fn=cmd_workloads)
+
+    p_m = sub.add_parser("methods", help="list available trainers")
+    p_m.set_defaults(fn=cmd_methods)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I")
+    p_t1.add_argument("--workloads", default="resnet_cifar10")
+    p_t1.add_argument("--n-workers", type=int, default=4)
+    p_t1.add_argument("--steps", type=int, default=150)
+    p_t1.add_argument("--eval-every", type=int, default=30)
+    p_t1.add_argument("--data-scale", type=float, default=0.25)
+    p_t1.add_argument("--seed", type=int, default=0)
+    p_t1.set_defaults(fn=cmd_table1)
+
+    p_fig = sub.add_parser("fig", help="run a figure generator (quick scale)")
+    p_fig.add_argument("name", help="e.g. fig1a, fig2, fig4, fig6, fig8a, fig8b")
+    p_fig.set_defaults(fn=cmd_fig)
+
+    p_res = sub.add_parser(
+        "results", help="collate benchmarks/results/*.txt into one markdown report"
+    )
+    p_res.add_argument("--results-dir", default="benchmarks/results")
+    p_res.add_argument("--output", default="RESULTS.md")
+    p_res.set_defaults(fn=cmd_results)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Worker memory-footprint accounting (Fig. 2b).
+
+Activation memory is *measured*, not modelled: after a forward pass every
+layer holds the arrays its backward needs (inputs, im2col patches, masks),
+so walking the module tree and summing cached ``ndarray`` attributes gives
+the true activation footprint of this substrate at a given batch size.
+Parameter/gradient/optimizer-slot memory is exact arithmetic on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def measure_activation_bytes(model: Module) -> int:
+    """Sum the bytes of every cached array in the module tree.
+
+    Call immediately after a training-mode forward pass; the result is the
+    memory backward would touch.
+    """
+    total = 0
+    for m in model.modules():
+        for name, value in vars(m).items():
+            if name in ("_params", "_children"):
+                continue
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            elif isinstance(value, tuple):
+                total += sum(v.nbytes for v in value if isinstance(v, np.ndarray))
+    return int(total)
+
+
+@dataclass
+class MemoryModel:
+    """Total worker memory for a model/batch combination.
+
+    ``optimizer_slots`` is the number of parameter-sized state buffers the
+    optimizer keeps (SGD+momentum: 1; Adam: 2).
+    """
+
+    optimizer_slots: int = 1
+
+    def footprint_bytes(self, model: Module, activation_bytes: int) -> int:
+        if activation_bytes < 0:
+            raise ValueError(f"activation_bytes must be >= 0, got {activation_bytes}")
+        param_bytes = model.nbytes
+        grad_bytes = model.nbytes
+        opt_bytes = self.optimizer_slots * model.nbytes
+        return int(param_bytes + grad_bytes + opt_bytes + activation_bytes)
+
+    def measure(self, model: Module, x: np.ndarray) -> int:
+        """Run a training forward on ``x`` and return the total footprint."""
+        model.train()
+        model.forward(x)
+        return self.footprint_bytes(model, measure_activation_bytes(model))

@@ -1,0 +1,74 @@
+"""Central parameter server.
+
+Implements the PS side of Alg. 1 (``pushToPS`` / ``pullFromPS``) plus the
+versioned asynchronous interface SSP needs (each async push advances the
+global version; staleness of a worker = versions applied since it last
+pulled).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class ParameterServer:
+    """Holds the flat global parameter vector.
+
+    Synchronous aggregation (BSP / FedAvg / SelSync-PA) averages pushed
+    vectors; asynchronous application (SSP) applies each worker's update as
+    it arrives and tracks versions.
+    """
+
+    def __init__(self, init_params: np.ndarray):
+        self._params = np.asarray(init_params, dtype=np.float64).copy()
+        self.version: int = 0
+
+    @property
+    def n_params(self) -> int:
+        return int(self._params.size)
+
+    # -- synchronous interface --------------------------------------------
+    def pull(self) -> np.ndarray:
+        """Return a copy of the current global parameters."""
+        return self._params.copy()
+
+    def aggregate_params(self, pushed: Sequence[np.ndarray]) -> np.ndarray:
+        """Parameter aggregation: global ← mean of pushed replicas."""
+        self._check(pushed)
+        self._params = np.mean(np.stack(pushed), axis=0)
+        self.version += 1
+        return self._params.copy()
+
+    def aggregate_grads(self, grads: Sequence[np.ndarray]) -> np.ndarray:
+        """Gradient aggregation: return the mean gradient (global params are
+        NOT moved — in GA each worker applies the mean to its own replica,
+        which is exactly the divergence mechanism §III-C describes)."""
+        self._check(grads)
+        self.version += 1
+        return np.mean(np.stack(grads), axis=0)
+
+    # -- asynchronous (SSP) interface ------------------------------------------
+    def async_apply(self, update: np.ndarray) -> int:
+        """Apply one worker's update vector to the global params immediately.
+
+        Returns the new version. ``update`` is the delta to *add* (callers
+        pass ``-lr * grad``).
+        """
+        if update.shape != self._params.shape:
+            raise ValueError(
+                f"update shape {update.shape} != params {self._params.shape}"
+            )
+        self._params += update
+        self.version += 1
+        return self.version
+
+    def _check(self, vectors: Sequence[np.ndarray]) -> None:
+        if len(vectors) == 0:
+            raise ValueError("nothing to aggregate")
+        for v in vectors:
+            if v.shape != self._params.shape:
+                raise ValueError(
+                    f"vector shape {v.shape} != params {self._params.shape}"
+                )

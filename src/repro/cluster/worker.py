@@ -1,0 +1,118 @@
+"""Simulated training worker (one model replica)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.loader import BatchLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.optim.base import Optimizer
+
+
+class SimWorker:
+    """One simulated rank: a model replica, its optimizer and its data view.
+
+    Trainers orchestrate workers; a worker only knows how to produce a
+    gradient from its next mini-batch and apply an optimizer step. Workers in
+    one group always start from byte-identical parameters (the cluster
+    builder seeds every replica with the same RNG), matching BSP's
+    pull-initial-state-from-PS contract.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Module,
+        optimizer: Optimizer,
+        loader: BatchLoader,
+        loss_factory: Callable[[], CrossEntropyLoss] = CrossEntropyLoss,
+    ):
+        self.worker_id = worker_id
+        self.model = model
+        self.optimizer = optimizer
+        self.loader = loader
+        self.loss_factory = loss_factory
+        self.last_loss: float = float("nan")
+        self.last_grad_sqnorm: float = float("nan")
+
+    # -- gradient computation ------------------------------------------------
+    def compute_gradient(
+        self, batch: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    ) -> float:
+        """Forward/backward on the next (or a given) mini-batch.
+
+        Leaves the gradient accumulated in the model and returns the loss.
+        Also records the squared L2 gradient norm, which the SelSync tracker
+        consumes (Eqn. 2 works on ``||∇F||²``).
+        """
+        x, y = self.loader.next_batch() if batch is None else batch
+        self.model.train()
+        self.model.zero_grad()
+        loss = self.loss_factory()
+        out = self.model.forward(x)
+        value = loss.forward(out, y)
+        self.model.backward(loss.backward())
+        self.last_loss = value
+        g = self.model.get_flat_grads()
+        self.last_grad_sqnorm = float(g @ g)
+        return value
+
+    # -- updates -----------------------------------------------------------
+    def local_step(self, lr: float) -> None:
+        """Apply one optimizer step from the accumulated gradient."""
+        self.optimizer.set_lr(lr)
+        self.optimizer.step()
+
+    def apply_gradient(self, flat_grad: np.ndarray, lr: float) -> None:
+        """Replace the accumulated gradient and step (gradient aggregation)."""
+        self.model.set_flat_grads(flat_grad)
+        self.local_step(lr)
+
+    # -- parameter views -------------------------------------------------------
+    def get_params(self) -> np.ndarray:
+        return self.model.get_flat_params()
+
+    def set_params(self, vec: np.ndarray) -> None:
+        self.model.set_flat_params(vec)
+
+    def get_grads(self) -> np.ndarray:
+        return self.model.get_flat_grads()
+
+    @property
+    def epoch(self) -> float:
+        return self.loader.fractional_epoch
+
+
+def build_worker_group(
+    n_workers: int,
+    model_factory: Callable[[], Module],
+    optimizer_factory: Callable[[Module], Optimizer],
+    loaders: List[BatchLoader],
+    loss_factory: Callable[[], CrossEntropyLoss] = CrossEntropyLoss,
+) -> List[SimWorker]:
+    """Construct N identically initialized workers.
+
+    ``model_factory`` must be deterministic (seeded) so every replica starts
+    from the same parameters; this is verified rather than assumed.
+    """
+    if len(loaders) != n_workers:
+        raise ValueError(f"need {n_workers} loaders, got {len(loaders)}")
+    workers = []
+    ref: Optional[np.ndarray] = None
+    for n in range(n_workers):
+        model = model_factory()
+        flat = model.get_flat_params()
+        if ref is None:
+            ref = flat
+        elif not np.array_equal(ref, flat):
+            raise ValueError(
+                "model_factory produced different initial parameters for "
+                "different replicas; seed it deterministically"
+            )
+        workers.append(
+            SimWorker(n, model, optimizer_factory(model), loaders[n], loss_factory)
+        )
+    return workers

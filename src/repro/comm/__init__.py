@@ -1,0 +1,51 @@
+"""Simulated communication substrate.
+
+Data movement between simulated workers happens in-process over numpy
+buffers (mpi4py-style collective semantics); the *time* each operation would
+take on the paper's testbed (5 Gbps NIC, PS topology) comes from an explicit
+cost model, so speedups are ratios of modelled wall-clock.
+"""
+
+from repro.comm.network import NetworkModel
+from repro.comm.costmodel import (
+    allgather_bits_time,
+    p2p_time,
+    ps_sync_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.comm.topology import (
+    PSTopology,
+    RingTopology,
+    Topology,
+    TreeTopology,
+    build_topology,
+)
+from repro.comm.collectives import SimGroup
+from repro.comm.scheduling import (
+    bucketed_schedule,
+    compare_schedules,
+    fused_schedule,
+    layer_sizes_bytes,
+    per_layer_schedule,
+)
+
+__all__ = [
+    "NetworkModel",
+    "ps_sync_time",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+    "allgather_bits_time",
+    "p2p_time",
+    "Topology",
+    "PSTopology",
+    "RingTopology",
+    "TreeTopology",
+    "build_topology",
+    "SimGroup",
+    "layer_sizes_bytes",
+    "fused_schedule",
+    "per_layer_schedule",
+    "bucketed_schedule",
+    "compare_schedules",
+]

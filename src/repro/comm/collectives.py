@@ -1,0 +1,114 @@
+"""In-process collectives over numpy buffers, with simulated timing.
+
+:class:`SimGroup` mirrors the mpi4py surface the paper's PS calls map onto
+(allreduce / allgather / broadcast / p2p) but executes within one process:
+the data movement is real numpy, the elapsed time is the cost model's. Every
+operation returns ``(result, simulated_seconds)`` so trainers charge the
+clock explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.costmodel import allgather_bits_time, p2p_time
+from repro.comm.network import NetworkModel
+from repro.comm.topology import Topology, build_topology
+
+
+class SimGroup:
+    """A communicator over ``n_workers`` simulated ranks.
+
+    Parameters
+    ----------
+    n_workers:
+        Group size (the PS is not a rank; its cost is in the topology).
+    net:
+        Link parameters used for timing.
+    topology:
+        Name or instance; decides the full-model sync cost formula.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        net: NetworkModel = None,
+        topology="ps",
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.net = net if net is not None else NetworkModel()
+        self.topology: Topology = (
+            topology if isinstance(topology, Topology) else build_topology(topology)
+        )
+        # Byte/op counters so experiments can report communication volume.
+        self.bytes_synced: int = 0
+        self.n_syncs: int = 0
+        self.n_allgathers: int = 0
+
+    # -- full-model synchronization ---------------------------------------
+    def allreduce_mean(
+        self, vectors: Sequence[np.ndarray], nbytes: float = None
+    ) -> Tuple[np.ndarray, float]:
+        """Average one flat vector per rank; returns (mean, sim_seconds).
+
+        ``nbytes`` overrides the payload size for timing (the experiment
+        harness passes the *paper-scale* model size here so Fig. 1a's
+        507 MB VGG11 behaviour reproduces with a small in-memory analog).
+        """
+        if len(vectors) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} vectors, got {len(vectors)}"
+            )
+        first = np.asarray(vectors[0])
+        for v in vectors[1:]:
+            if np.asarray(v).shape != first.shape:
+                raise ValueError("allreduce requires equally-shaped vectors")
+        mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
+        payload = float(first.nbytes if nbytes is None else nbytes)
+        t = self.topology.sync_time(payload, self.n_workers, self.net)
+        self.bytes_synced += int(payload) * self.n_workers
+        self.n_syncs += 1
+        return mean, t
+
+    def charge_sync(self, nbytes: float) -> float:
+        """Account one full-model sync round and return its simulated time.
+
+        For callers that perform the aggregation arithmetic elsewhere (e.g.
+        through the :class:`~repro.cluster.server.ParameterServer`) and only
+        need the clock charged once.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        t = self.topology.sync_time(float(nbytes), self.n_workers, self.net)
+        self.bytes_synced += int(nbytes) * self.n_workers
+        self.n_syncs += 1
+        return t
+
+    # -- SelSync's flag exchange ------------------------------------------
+    def allgather_flags(self, flags: Sequence[int]) -> Tuple[np.ndarray, float]:
+        """Alg. 1 line 12: share each worker's 1-bit sync status with all."""
+        if len(flags) != self.n_workers:
+            raise ValueError(f"expected {self.n_workers} flags, got {len(flags)}")
+        arr = np.asarray(flags, dtype=np.uint8)
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ValueError(f"flags must be 0/1 bits, got {list(flags)}")
+        self.n_allgathers += 1
+        return arr, allgather_bits_time(self.n_workers, self.net)
+
+    # -- broadcast / p2p -----------------------------------------------------
+    def broadcast(self, vector: np.ndarray, nbytes: float = None) -> Tuple[List[np.ndarray], float]:
+        """Root sends one vector to all ranks (initial model pull, Alg. 1 line 3)."""
+        payload = float(vector.nbytes if nbytes is None else nbytes)
+        # All pulls proceed in parallel, PS egress shared — same as one PS phase.
+        t = self.topology.sync_time(payload, self.n_workers, self.net) / 2.0
+        copies = [vector.copy() for _ in range(self.n_workers)]
+        self.bytes_synced += int(payload) * self.n_workers
+        return copies, t
+
+    def p2p(self, payload_nbytes: float) -> float:
+        """Timing for one point-to-point transfer (data injection)."""
+        return p2p_time(payload_nbytes, self.net)

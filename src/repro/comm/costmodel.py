@@ -1,0 +1,86 @@
+"""Communication-time cost models.
+
+Closed-form times for the synchronization primitives the trainers invoke,
+derived from the standard α–β (latency–bandwidth) model. These are the only
+place simulated wall-clock is manufactured; everything else measures real
+numpy compute or counts real bytes.
+"""
+
+from __future__ import annotations
+
+from repro.comm.network import NetworkModel
+
+
+def p2p_time(nbytes: float, net: NetworkModel) -> float:
+    """One point-to-point transfer (data injection uses this)."""
+    return net.transfer_time(nbytes)
+
+
+def ps_sync_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
+    """Full PS round: N workers push ``nbytes`` each, then pull the update.
+
+    Workers co-located on a node (``net.workers_per_node``) first reduce
+    locally over the fast intra-node link, then one aggregated update per
+    node crosses the NIC; the PS serializes all node ingress through its own
+    link. Each phase therefore costs
+    ``intra + latency + max(payload/node_NIC, n_nodes×payload/PS_NIC)`` and a
+    full round is push + pull. The shared-ingress term is what bends
+    Fig. 1a's throughput curve away from linear as N grows.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    import math
+
+    bits = 8.0 * nbytes
+    wpn = min(net.workers_per_node, n_workers)
+    n_nodes = math.ceil(n_workers / wpn)
+    intra = 0.0
+    if wpn > 1:
+        # Local ring reduce among co-located workers at the intra-node rate.
+        intra = (wpn - 1) / wpn * bits / (net.bandwidth_bps * net.intra_node_speedup)
+    inter = net.latency_s + max(
+        bits / net.bandwidth_bps, n_nodes * bits / net.ps_bandwidth_bps
+    )
+    return 2.0 * (intra + inter)  # push + pull
+
+
+def ring_allreduce_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
+    """Bandwidth-optimal ring allreduce: ``2(N-1)/N`` payload + 2(N-1) hops."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    bits = 8.0 * nbytes
+    bw = net.effective_worker_bandwidth()
+    return 2.0 * (n_workers - 1) * (net.latency_s + bits / (n_workers * bw))
+
+
+def tree_allreduce_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
+    """Binary-tree reduce+broadcast: logarithmic latency, full payload per hop."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    import math
+
+    hops = 2.0 * math.ceil(math.log2(n_workers))
+    bits = 8.0 * nbytes
+    bw = net.effective_worker_bandwidth()
+    return hops * (net.latency_s + bits / bw)
+
+
+def allgather_bits_time(n_workers: int, net: NetworkModel) -> float:
+    """SelSync's 1-bit-per-worker flag allgather (Alg. 1 line 12).
+
+    (N-1) bits of payload — latency dominated. The paper measured ≈2–4 ms;
+    with the default latency this lands in the same range for N=16.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    payload_bytes = max(1.0, (n_workers - 1) / 8.0)
+    # Ring-style allgather: N-1 latency hops, negligible payload.
+    return (n_workers - 1) * net.latency_s + 8.0 * payload_bytes / net.effective_worker_bandwidth()

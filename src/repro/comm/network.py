@@ -1,0 +1,67 @@
+"""Network model: link bandwidths, latency and heterogeneity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class NetworkModel:
+    """Parameters of the simulated interconnect.
+
+    Defaults mirror the paper's testbed: worker containers on a 5 Gbps NIC
+    pushing/pulling through one PS node. ``intra_node_fraction`` models
+    multi-GPU nodes (paper's 8/16-worker clusters pack 2/4 GPUs per node)
+    where co-located workers enjoy a much faster effective link.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Per-worker NIC bandwidth in bits/second.
+    ps_bandwidth_bps:
+        PS node NIC bandwidth; the PS ingests all N updates through it, which
+        is what makes the PS the scaling bottleneck (Fig. 1a).
+    latency_s:
+        One-way message latency in seconds.
+    intra_node_speedup:
+        Bandwidth multiplier for worker pairs on the same node.
+    workers_per_node:
+        Workers co-located per physical node (1 = every link crosses the NIC).
+    """
+
+    bandwidth_bps: float = 5e9
+    ps_bandwidth_bps: float = 20e9
+    latency_s: float = 2e-4
+    intra_node_speedup: float = 8.0
+    workers_per_node: int = 1
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0 or self.ps_bandwidth_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.workers_per_node < 1:
+            raise ValueError("workers_per_node must be >= 1")
+
+    def effective_worker_bandwidth(self) -> float:
+        """Average per-worker bandwidth accounting for intra-node links."""
+        if self.workers_per_node <= 1:
+            return self.bandwidth_bps
+        # One of every `workers_per_node` transfers crosses the NIC; the rest
+        # move at the intra-node rate. Harmonic blend of the two rates.
+        inter = 1.0 / self.workers_per_node
+        intra = 1.0 - inter
+        return 1.0 / (
+            inter / self.bandwidth_bps
+            + intra / (self.bandwidth_bps * self.intra_node_speedup)
+        )
+
+    def transfer_time(self, nbytes: float, bandwidth_bps: Optional[float] = None) -> float:
+        """Seconds to move ``nbytes`` over one link (payload + latency)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        bw = self.bandwidth_bps if bandwidth_bps is None else bandwidth_bps
+        return self.latency_s + 8.0 * nbytes / bw

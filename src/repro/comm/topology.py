@@ -1,0 +1,62 @@
+"""Synchronization topologies.
+
+Alg. 1's ``pushToPS``/``pullFromPS`` can be swapped for decentralized
+collectives (paper §III, last paragraph); a :class:`Topology` encapsulates
+the cost formula for one full model synchronization so trainers are agnostic
+to it.
+"""
+
+from __future__ import annotations
+
+from repro.comm.costmodel import (
+    ps_sync_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.comm.network import NetworkModel
+from repro.utils.registry import Registry
+
+TOPOLOGIES: Registry = Registry("topology")
+
+
+class Topology:
+    """Cost interface for one full-model synchronization round."""
+
+    name = "abstract"
+
+    def sync_time(self, nbytes: float, n_workers: int, net: NetworkModel) -> float:
+        raise NotImplementedError
+
+
+@TOPOLOGIES.register("ps")
+class PSTopology(Topology):
+    """Central parameter server (the paper's deployment)."""
+
+    name = "ps"
+
+    def sync_time(self, nbytes: float, n_workers: int, net: NetworkModel) -> float:
+        return ps_sync_time(nbytes, n_workers, net)
+
+
+@TOPOLOGIES.register("ring")
+class RingTopology(Topology):
+    """Bandwidth-optimal ring allreduce."""
+
+    name = "ring"
+
+    def sync_time(self, nbytes: float, n_workers: int, net: NetworkModel) -> float:
+        return ring_allreduce_time(nbytes, n_workers, net)
+
+
+@TOPOLOGIES.register("tree")
+class TreeTopology(Topology):
+    """Logarithmic binary-tree reduce + broadcast."""
+
+    name = "tree"
+
+    def sync_time(self, nbytes: float, n_workers: int, net: NetworkModel) -> float:
+        return tree_allreduce_time(nbytes, n_workers, net)
+
+
+def build_topology(name: str) -> Topology:
+    return TOPOLOGIES.create(name)

@@ -1,0 +1,73 @@
+"""Bulk-synchronous parallel training (paper §II-A) with optional gradient
+compression (§II-D comparators)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.worker import SimWorker
+from repro.core.config import ClusterConfig
+from repro.core.trainer import DistributedTrainer
+from repro.optim.schedules import LRSchedule
+from repro.utils.runlog import IterationRecord
+
+
+class BSPTrainer(DistributedTrainer):
+    """Classic BSP: aggregate every step, all replicas stay identical.
+
+    Aggregation is gradient averaging (the BSP default; with lock-step
+    identical replicas it is equivalent to parameter averaging, §III-C).
+    An optional :class:`~repro.core.compression.base.Compressor` reduces the
+    payload per sync, reproducing the sparsification/quantization baselines.
+    """
+
+    name = "bsp"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+        compressor=None,
+    ):
+        super().__init__(workers, cluster, schedule)
+        self.compressor = compressor
+        self._compressors = None
+        if compressor is not None:
+            # Per-worker clones so error-feedback state stays rank-local.
+            self._compressors = [compressor.clone() for _ in workers]
+
+    def step(self, i: int) -> IterationRecord:
+        batch = self.workers[0].loader.batch_size
+        t_c = self.max_compute_time(batch)
+        losses = [w.compute_gradient() for w in self.workers]
+
+        if self._compressors is None:
+            grads = [w.get_grads() for w in self.workers]
+            payload = self.comm_bytes
+            overhead = 0.0
+        else:
+            grads, payloads, overheads = [], [], []
+            scale = self.comm_bytes / max(1.0, float(self.workers[0].model.nbytes))
+            for w, comp in zip(self.workers, self._compressors):
+                msg = comp.compress(w.get_grads())
+                grads.append(comp.decompress(msg))
+                payloads.append(msg.nbytes * scale)
+                overheads.append(comp.overhead_seconds)
+            payload = float(np.mean(payloads))
+            overhead = float(np.max(overheads))
+
+        mean_grad, t_s = self.group.allreduce_mean(grads, nbytes=payload)
+        t_s = self.effective_sync_time(t_s, t_c)
+        lr = self.lr(i)
+        for w in self.workers:
+            w.apply_gradient(mean_grad, lr)
+        return IterationRecord(
+            step=i,
+            synced=True,
+            sim_time=t_c + t_s + overhead,
+            comm_time=t_s,
+            loss=float(np.mean(losses)),
+        )

@@ -1,0 +1,32 @@
+"""Gradient-compression comparators (paper §II-D related work).
+
+Sparsification (Top-k, Random-k, DGC), quantization (signSGD, TernGrad) and
+low-rank approximation (PowerSGD) — the communication-reduction family
+SelSync is positioned against. Each compressor maps a flat gradient to a
+compact message plus a reconstruction, so the BSP trainer can aggregate
+compressed gradients and the benches can compare bytes-on-the-wire and
+converged accuracy.
+"""
+
+from repro.core.compression.base import CompressedMessage, Compressor, COMPRESSORS, build_compressor
+from repro.core.compression.topk import TopKCompressor
+from repro.core.compression.randomk import RandomKCompressor
+from repro.core.compression.dgc import DGCCompressor
+from repro.core.compression.signsgd import SignSGDCompressor
+from repro.core.compression.terngrad import TernGradCompressor
+from repro.core.compression.powersgd import PowerSGDCompressor
+from repro.core.compression.accordion import AccordionCompressor
+
+__all__ = [
+    "AccordionCompressor",
+    "CompressedMessage",
+    "Compressor",
+    "COMPRESSORS",
+    "build_compressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "DGCCompressor",
+    "SignSGDCompressor",
+    "TernGradCompressor",
+    "PowerSGDCompressor",
+]

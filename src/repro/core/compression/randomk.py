@@ -1,0 +1,39 @@
+"""Random-k sparsification — the unbiased baseline Top-k is compared to."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compression.base import COMPRESSORS, CompressedMessage, Compressor
+from repro.utils.rng import RngLike, as_rng
+
+
+@COMPRESSORS.register("randomk")
+class RandomKCompressor(Compressor):
+    """Keep a uniformly random ``ratio`` fraction, rescaled by ``1/ratio`` so
+    the estimate stays unbiased."""
+
+    def __init__(
+        self, ratio: float = 0.01, error_feedback: bool = True, rng: RngLike = None
+    ):
+        super().__init__(error_feedback=error_feedback)
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.rng = as_rng(rng)
+
+    def _encode(self, grad: np.ndarray) -> CompressedMessage:
+        n = grad.size
+        k = max(1, int(round(self.ratio * n)))
+        idx = self.rng.choice(n, size=k, replace=False)
+        return CompressedMessage(
+            payload=(idx.astype(np.int64), grad[idx] / self.ratio),
+            nbytes=8 * k,
+            n_elements=n,
+        )
+
+    def _decode(self, msg: CompressedMessage) -> np.ndarray:
+        idx, vals = msg.payload
+        out = np.zeros(msg.n_elements)
+        out[idx] = vals
+        return out

@@ -1,0 +1,33 @@
+"""signSGD (Bernstein et al. 2018): 1 bit per coordinate plus a scale."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compression.base import COMPRESSORS, CompressedMessage, Compressor
+
+
+@COMPRESSORS.register("signsgd")
+class SignSGDCompressor(Compressor):
+    """Transmit ``sign(g)`` packed to 1 bit/element, scaled by mean |g| so
+    the reconstruction preserves gradient magnitude on average."""
+
+    overhead_seconds = 5e-4
+
+    def __init__(self, error_feedback: bool = True):
+        super().__init__(error_feedback=error_feedback)
+
+    def _encode(self, grad: np.ndarray) -> CompressedMessage:
+        n = grad.size
+        scale = float(np.mean(np.abs(grad))) if n else 0.0
+        bits = np.packbits(grad >= 0)
+        return CompressedMessage(
+            payload=(bits, scale),
+            nbytes=int(bits.nbytes) + 4,
+            n_elements=n,
+        )
+
+    def _decode(self, msg: CompressedMessage) -> np.ndarray:
+        bits, scale = msg.payload
+        signs = np.unpackbits(bits)[: msg.n_elements].astype(np.float64)
+        return scale * (2.0 * signs - 1.0)

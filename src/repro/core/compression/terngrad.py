@@ -1,0 +1,39 @@
+"""TernGrad (Wen et al. 2017): stochastic ternary quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compression.base import COMPRESSORS, CompressedMessage, Compressor
+from repro.utils.rng import RngLike, as_rng
+
+
+@COMPRESSORS.register("terngrad")
+class TernGradCompressor(Compressor):
+    """Quantize to ``s·{-1, 0, +1}`` with ``s = max|g|``; each coordinate is
+    ±1 with probability ``|g_i|/s`` (unbiased), else 0. 2 bits/element."""
+
+    overhead_seconds = 5e-4
+
+    def __init__(self, rng: RngLike = None):
+        super().__init__(error_feedback=False)  # unbiased; EF unnecessary
+        self.rng = as_rng(rng)
+
+    def _encode(self, grad: np.ndarray) -> CompressedMessage:
+        n = grad.size
+        s = float(np.max(np.abs(grad))) if n else 0.0
+        if s == 0.0:
+            tern = np.zeros(n, dtype=np.int8)
+        else:
+            prob = np.abs(grad) / s
+            keep = self.rng.random(n) < prob
+            tern = (np.sign(grad) * keep).astype(np.int8)
+        return CompressedMessage(
+            payload=(tern, s),
+            nbytes=int(np.ceil(n / 4)) + 4,  # 2 bits per element + scale
+            n_elements=n,
+        )
+
+    def _decode(self, msg: CompressedMessage) -> np.ndarray:
+        tern, s = msg.payload
+        return s * tern.astype(np.float64)

@@ -1,0 +1,41 @@
+"""Top-k magnitude sparsification (Alistarh et al. 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compression.base import COMPRESSORS, CompressedMessage, Compressor
+
+
+@COMPRESSORS.register("topk")
+class TopKCompressor(Compressor):
+    """Keep the ``ratio`` fraction of entries with largest magnitude.
+
+    The wire format is (indices, values): 4 bytes of index + 4 bytes of
+    fp32 value per kept element.
+    """
+
+    def __init__(self, ratio: float = 0.01, error_feedback: bool = True):
+        super().__init__(error_feedback=error_feedback)
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+
+    def _k(self, n: int) -> int:
+        return max(1, int(round(self.ratio * n)))
+
+    def _encode(self, grad: np.ndarray) -> CompressedMessage:
+        n = grad.size
+        k = self._k(n)
+        idx = np.argpartition(np.abs(grad), n - k)[n - k:]
+        return CompressedMessage(
+            payload=(idx.astype(np.int64), grad[idx].copy()),
+            nbytes=8 * k,  # 4B index + 4B fp32 value
+            n_elements=n,
+        )
+
+    def _decode(self, msg: CompressedMessage) -> np.ndarray:
+        idx, vals = msg.payload
+        out = np.zeros(msg.n_elements)
+        out[idx] = vals
+        return out

@@ -1,0 +1,106 @@
+"""Configuration dataclasses shared by all trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster.compute import ComputeModel
+from repro.comm.collectives import SimGroup
+from repro.comm.network import NetworkModel
+
+
+@dataclass
+class ClusterConfig:
+    """Simulated cluster shape and timing sources.
+
+    Attributes
+    ----------
+    n_workers:
+        Cluster size N (the paper evaluates N=16 plus a PS).
+    net / topology:
+        Interconnect parameters and synchronization strategy.
+    comm_bytes:
+        Payload of one full-model synchronization. ``None`` uses the actual
+        in-memory model size; experiments override with the paper-scale
+        model size (e.g. 507 MB for VGG11) so communication/compute ratios
+        match the testbed.
+    flops_per_sample:
+        Compute cost per sample. ``None`` uses the model's own estimate;
+        experiments override with the paper-scale figure.
+    device_flops / jitter_sigma / speeds:
+        Passed through to :class:`ComputeModel`.
+    """
+
+    n_workers: int = 4
+    net: NetworkModel = field(default_factory=NetworkModel)
+    topology: str = "ps"
+    comm_bytes: Optional[float] = None
+    flops_per_sample: Optional[float] = None
+    device_flops: float = 2.0e12
+    jitter_sigma: float = 0.02
+    speeds: Optional[list] = None
+    seed: int = 0
+    #: Fraction of the compute phase that synchronization can hide behind
+    #: (PipeDream/GradientFlow/ByteScheduler-style overlap, §II-D). 0 means
+    #: strictly sequential compute-then-communicate; 1 means communication
+    #: can fully hide under compute.
+    overlap_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError(
+                f"overlap_fraction must be in [0, 1], got {self.overlap_fraction}"
+            )
+
+    def make_group(self) -> SimGroup:
+        return SimGroup(self.n_workers, net=self.net, topology=self.topology)
+
+    def make_compute(self) -> ComputeModel:
+        return ComputeModel(
+            self.n_workers,
+            device_flops=self.device_flops,
+            speeds=self.speeds,
+            jitter_sigma=self.jitter_sigma,
+            rng=self.seed,
+        )
+
+
+@dataclass
+class TrainConfig:
+    """Run-control parameters common to every trainer.
+
+    Attributes
+    ----------
+    n_steps:
+        Hard iteration cap.
+    eval_every:
+        Evaluate the deployable model every this many steps (and at the end).
+    eval_fn:
+        ``model -> float`` metric callback; higher_is_better tells the
+        harness how to compare (accuracy vs perplexity).
+    patience:
+        Stop after this many consecutive evaluations without improvement;
+        ``None`` disables early stopping (fixed-step runs). This implements
+        the paper's "run until accuracy/perplexity does not improve further"
+        protocol for Table I.
+    min_improvement:
+        Smallest metric delta that counts as progress for the patience rule.
+    """
+
+    n_steps: int = 200
+    eval_every: int = 50
+    eval_fn: Optional[Callable] = None
+    higher_is_better: bool = True
+    patience: Optional[int] = None
+    min_improvement: float = 1e-4
+
+    def __post_init__(self):
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")

@@ -1,0 +1,96 @@
+"""Elastic Averaging SGD (Zhang, Choromańska & LeCun, 2014).
+
+The paper cites EASGD ([37]) as the evidence that local exploration improves
+generalization — the very argument SelSync leans on. EASGD keeps a *center*
+variable on the PS; every ``tau`` steps each worker and the center pull
+toward each other with elasticity ``rho``::
+
+    x_i ← x_i − ρ (x_i − x̃)         (worker update)
+    x̃  ← x̃ + ρ Σ_i (x_i − x̃)       (center update)
+
+Workers otherwise run pure local SGD, so the center's bound on divergence is
+elastic rather than hard (contrast SelSync-PA, which snaps every replica to
+the average when it synchronizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.worker import SimWorker
+from repro.core.config import ClusterConfig
+from repro.core.trainer import DistributedTrainer
+from repro.optim.schedules import LRSchedule
+from repro.utils.runlog import IterationRecord
+
+
+class EASGDTrainer(DistributedTrainer):
+    """Synchronous EASGD over the simulated PS.
+
+    Parameters
+    ----------
+    rho:
+        Elasticity in (0, 1). The center-update uses the same ρ; stability
+        requires ``N·ρ ≤ 1`` (checked).
+    tau:
+        Communication period in steps (τ=1 is the classic synchronous form).
+    """
+
+    name = "easgd"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+        rho: float = 0.1,
+        tau: int = 4,
+    ):
+        super().__init__(workers, cluster, schedule)
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        if rho * len(workers) > 1.0:
+            raise ValueError(
+                f"unstable elasticity: N*rho = {rho * len(workers):.2f} > 1"
+            )
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        self.rho = rho
+        self.tau = tau
+        self.center = workers[0].get_params()
+
+    def step(self, i: int) -> IterationRecord:
+        batch = self.workers[0].loader.batch_size
+        t_c = self.max_compute_time(batch)
+        lr = self.lr(i)
+        losses = []
+        for w in self.workers:
+            losses.append(w.compute_gradient())
+            w.local_step(lr)
+
+        synced = (i + 1) % self.tau == 0
+        t_s = 0.0
+        if synced:
+            diffs = []
+            for w in self.workers:
+                p = w.get_params()
+                d = p - self.center
+                w.set_params(p - self.rho * d)
+                diffs.append(d)
+            self.center = self.center + self.rho * np.sum(diffs, axis=0)
+            t_s = self.effective_sync_time(
+                self.group.charge_sync(self.comm_bytes), t_c
+            )
+        return IterationRecord(
+            step=i,
+            synced=synced,
+            sim_time=t_c + t_s,
+            comm_time=t_s,
+            loss=float(np.mean(losses)),
+        )
+
+    def mean_params(self) -> np.ndarray:
+        """EASGD's deployable model is the center variable."""
+        return self.center.copy()

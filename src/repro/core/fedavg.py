@@ -1,0 +1,93 @@
+"""Federated Averaging (paper §II-B).
+
+FedAvg is configured as ``(C, E)``: every ``E``-th of an epoch, a random
+``C``-fraction of workers pushes parameters; their average becomes the new
+global model which all workers then pull. Between rounds every worker runs
+pure local SGD — the low-frequency/high-volume strategy whose accuracy
+penalty Table I documents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.worker import SimWorker
+from repro.comm.topology import build_topology
+from repro.core.config import ClusterConfig
+from repro.core.trainer import DistributedTrainer
+from repro.optim.schedules import LRSchedule
+from repro.utils.rng import as_rng
+from repro.utils.runlog import IterationRecord
+
+
+class FedAvgTrainer(DistributedTrainer):
+    """FedAvg over the simulated PS.
+
+    Parameters
+    ----------
+    c_fraction:
+        Fraction C of workers whose updates are aggregated each round.
+    e_factor:
+        Synchronization factor E = 1/x where x is rounds per epoch
+        (E=0.25 ⇒ 4 uniformly spaced aggregations per epoch).
+    """
+
+    name = "fedavg"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+        c_fraction: float = 1.0,
+        e_factor: float = 0.25,
+    ):
+        super().__init__(workers, cluster, schedule)
+        if not 0.0 < c_fraction <= 1.0:
+            raise ValueError(f"C must be in (0, 1], got {c_fraction}")
+        if not 0.0 < e_factor <= 1.0:
+            raise ValueError(f"E must be in (0, 1], got {e_factor}")
+        self.c_fraction = c_fraction
+        self.e_factor = e_factor
+        steps_per_epoch = workers[0].loader.steps_per_epoch
+        self.sync_interval = max(1, int(round(e_factor * steps_per_epoch)))
+        self._rng = as_rng(cluster.seed + 7919)
+        self._topology = build_topology(cluster.topology)
+
+    def n_participants(self) -> int:
+        return max(1, int(np.ceil(self.c_fraction * len(self.workers))))
+
+    def step(self, i: int) -> IterationRecord:
+        batch = self.workers[0].loader.batch_size
+        t_c = self.max_compute_time(batch)
+        lr = self.lr(i)
+        losses = []
+        for w in self.workers:
+            losses.append(w.compute_gradient())
+            w.local_step(lr)
+
+        synced = (i + 1) % self.sync_interval == 0
+        t_s = 0.0
+        if synced:
+            k = self.n_participants()
+            chosen = self._rng.choice(len(self.workers), size=k, replace=False)
+            pushed = [self.workers[int(c)].get_params() for c in chosen]
+            global_params = self.server.aggregate_params(pushed)
+            # Aggregation involves the C-fraction; the pull-back reaches all.
+            t_s = self._topology.sync_time(self.comm_bytes, k, self.cluster.net)
+            if k < len(self.workers):
+                t_s += self._topology.sync_time(
+                    self.comm_bytes, len(self.workers), self.cluster.net
+                ) / 2.0
+            for w in self.workers:
+                w.set_params(global_params)
+            t_s = self.effective_sync_time(t_s, t_c)
+        return IterationRecord(
+            step=i,
+            synced=synced,
+            sim_time=t_c + t_s,
+            comm_time=t_s,
+            loss=float(np.mean(losses)),
+        )

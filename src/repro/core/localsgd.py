@@ -1,0 +1,31 @@
+"""Pure local-SGD: never communicate (SelSync's δ→∞ limit, Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import DistributedTrainer
+from repro.utils.runlog import IterationRecord
+
+
+class LocalSGDTrainer(DistributedTrainer):
+    """Every worker descends its own loss surface; replicas never exchange
+    anything, so each explores only its local minimum (paper §III-B)."""
+
+    name = "localsgd"
+
+    def step(self, i: int) -> IterationRecord:
+        batch = self.workers[0].loader.batch_size
+        t_c = self.max_compute_time(batch)
+        lr = self.lr(i)
+        losses = []
+        for w in self.workers:
+            losses.append(w.compute_gradient())
+            w.local_step(lr)
+        return IterationRecord(
+            step=i,
+            synced=False,
+            sim_time=t_c,
+            comm_time=0.0,
+            loss=float(np.mean(losses)),
+        )

@@ -1,0 +1,82 @@
+"""Headline metrics: throughput scaling, time-to-metric and paper-style
+speedup-vs-BSP."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.comm.network import NetworkModel
+from repro.comm.topology import build_topology
+from repro.core.trainer import TrainResult
+from repro.utils.runlog import RunLog
+
+
+def relative_throughput(
+    flops_per_sample: float,
+    batch_size: int,
+    n_workers: int,
+    comm_bytes: float,
+    net: NetworkModel = None,
+    topology: str = "ps",
+    device_flops: float = 2.0e12,
+) -> float:
+    """Fig. 1a's metric: samples/s at N workers over samples/s at 1 worker.
+
+    ``throughput(N) = N·b / (t_c + t_s(N))`` with ``t_s(1) = 0``; linear
+    scaling would give exactly N.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    net = net if net is not None else NetworkModel()
+    topo = build_topology(topology)
+    t_c = 3.0 * flops_per_sample * batch_size / device_flops
+    t_s = topo.sync_time(comm_bytes, n_workers, net)
+    single = batch_size / t_c
+    return (n_workers * batch_size / (t_c + t_s)) / single
+
+
+def time_to_metric(
+    log: RunLog, target: float, higher_is_better: bool = True
+) -> Optional[float]:
+    """Simulated seconds until the eval metric first reaches ``target``."""
+    for ev in log.evals:
+        if (ev.metric >= target) if higher_is_better else (ev.metric <= target):
+            return ev.sim_time
+    return None
+
+
+def speedup_vs_bsp(
+    bsp: TrainResult,
+    other: TrainResult,
+    higher_is_better: bool = True,
+    tolerance: float = 0.0,
+) -> Optional[float]:
+    """Table I's 'Overall speedup' column.
+
+    Defined only when the method matches BSP's converged quality (within
+    ``tolerance``); then it is the ratio of simulated end-to-end training
+    times. Returns ``None`` when the method failed to reach BSP's level —
+    the rows the paper leaves blank.
+    """
+    if bsp.best_metric is None or other.best_metric is None:
+        return None
+    if higher_is_better:
+        reached = other.best_metric >= bsp.best_metric - tolerance
+    else:
+        reached = other.best_metric <= bsp.best_metric + tolerance
+    if not reached:
+        return None
+    if other.sim_time <= 0:
+        return None
+    return bsp.sim_time / other.sim_time
+
+
+def convergence_difference(
+    bsp: TrainResult, other: TrainResult, higher_is_better: bool = True
+) -> Optional[float]:
+    """Table I's 'Conv. Diff.' column: method metric − BSP metric (signed so
+    positive always means better-than-BSP)."""
+    if bsp.best_metric is None or other.best_metric is None:
+        return None
+    diff = other.best_metric - bsp.best_metric
+    return diff if higher_is_better else -diff

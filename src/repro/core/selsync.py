@@ -1,0 +1,175 @@
+"""SelSync: δ-thresholded selective synchronization (paper §III, Alg. 1).
+
+Every iteration each worker computes its gradient and the relative gradient
+change Δ(g_i) (Eqn. 2, EWMA-smoothed). Workers whose Δ(g_i) ≥ δ raise a
+1-bit flag; an allgather shares the flags and if *any* worker raised one,
+the whole cluster synchronizes this step — by parameter aggregation (PA,
+the paper's recommended mode) or gradient aggregation (GA, the §III-C
+comparison). Otherwise every worker applies its own update locally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.worker import SimWorker
+from repro.core.config import ClusterConfig
+from repro.core.grad_tracker import RelativeGradChange
+from repro.core.trainer import DistributedTrainer
+from repro.data.injection import DataInjector
+from repro.optim.schedules import LRSchedule
+from repro.utils.runlog import IterationRecord
+
+#: Default simulated cost of computing Δ(g_i) with EWMA smoothing at w=25
+#: (paper Fig. 8a: ≈2–17 ms depending on the model; we charge a middle value).
+DEFAULT_DELTA_OVERHEAD_S = 3e-3
+
+
+class SelSyncTrainer(DistributedTrainer):
+    """The paper's contribution.
+
+    Parameters
+    ----------
+    delta:
+        Threshold δ on Δ(g_i). δ=0 degenerates to BSP; δ above the
+        gradient-change extremum M degenerates to pure local-SGD (Fig. 6).
+    aggregation:
+        ``"params"`` (PA) or ``"grads"`` (GA). PA keeps every replica
+        consistent with the global model after each sync; GA lets replicas
+        drift because the averaged gradient lands on divergent parameters
+        (§III-C) — implemented faithfully so Fig. 10/11 reproduce.
+    ewma_alpha / ewma_window:
+        Smoothing parameters of the Δ tracker. ``None`` alpha uses the
+        paper's N/100 heuristic.
+    injector:
+        Optional non-IID data injection (§III-E); its per-iteration P2P cost
+        is charged to the clock.
+    sync_vote:
+        ``"any"`` (Alg. 1: one raised flag syncs everyone) or ``"majority"``
+        (ablation: sync only when more than half the workers vote for it).
+    delta_overhead_s:
+        Simulated per-step cost of the Δ(g_i) computation, charged only to
+        SelSync (BSP/FedAvg/SSP do not compute it — §IV-B).
+    delta_policy:
+        Optional :class:`~repro.core.adaptive.DeltaPolicy` that picks the
+        threshold online (extension beyond the paper); overrides ``delta``.
+    """
+
+    name = "selsync"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+        delta: float = 0.3,
+        aggregation: str = "params",
+        ewma_alpha: Optional[float] = None,
+        ewma_window: int = 25,
+        injector: Optional[DataInjector] = None,
+        sync_vote: str = "any",
+        delta_overhead_s: float = DEFAULT_DELTA_OVERHEAD_S,
+        delta_policy=None,
+    ):
+        super().__init__(workers, cluster, schedule)
+        if delta < 0:
+            raise ValueError(f"δ must be >= 0, got {delta}")
+        if aggregation not in ("params", "grads"):
+            raise ValueError(f"aggregation must be 'params' or 'grads', got {aggregation!r}")
+        if sync_vote not in ("any", "majority"):
+            raise ValueError(f"sync_vote must be 'any' or 'majority', got {sync_vote!r}")
+        self.delta = float(delta)
+        self.aggregation = aggregation
+        self.sync_vote = sync_vote
+        self.injector = injector
+        self.delta_overhead_s = delta_overhead_s
+        self.delta_policy = delta_policy
+        alpha = ewma_alpha if ewma_alpha is not None else min(1.0, max(0.01, cluster.n_workers / 100.0))
+        self.trackers = [
+            RelativeGradChange(alpha=alpha, window=ewma_window) for _ in workers
+        ]
+
+    @property
+    def max_observed_delta(self) -> float:
+        """Cluster-wide extremum M of Δ(g_i) (Fig. 6's upper bound)."""
+        return max(t.max_delta for t in self.trackers)
+
+    def _gather_batches(self):
+        """Next mini-batch per worker, with optional data injection."""
+        batches = [w.loader.next_batch() for w in self.workers]
+        inject_time = 0.0
+        if self.injector is not None:
+            result = self.injector.inject(batches)
+            batches = result.batches
+            inject_time = self.group.p2p(result.bytes_transferred)
+        return batches, inject_time
+
+    def step(self, i: int) -> IterationRecord:
+        lr = self.lr(i)
+        batches, inject_time = self._gather_batches()
+        batch_size = len(batches[0][0])
+        t_c = self.max_compute_time(batch_size)
+        threshold = (
+            self.delta
+            if self.delta_policy is None
+            else self.delta_policy.effective_delta(self, i)
+        )
+
+        losses = []
+        flags = []
+        deltas = []
+        for w, tracker, batch in zip(self.workers, self.trackers, batches):
+            losses.append(w.compute_gradient(batch))
+            d = tracker.update(w.last_grad_sqnorm)
+            deltas.append(d)
+            flags.append(1 if d >= threshold else 0)
+
+        gathered, t_flags = self.group.allgather_flags(flags)
+        if self.sync_vote == "any":
+            sync = bool(gathered.any())
+        else:
+            sync = int(gathered.sum()) > len(self.workers) // 2
+
+        t_s = 0.0
+        if self.aggregation == "params":
+            # Alg. 1 line 9: apply local updates unconditionally...
+            for w in self.workers:
+                w.local_step(lr)
+            if sync:
+                # ...then push w_{i+1} and pull the average (lines 14-15).
+                global_params = self.server.aggregate_params(
+                    [w.get_params() for w in self.workers]
+                )
+                t_s = self.group.charge_sync(self.comm_bytes)
+                for w in self.workers:
+                    w.set_params(global_params)
+        else:  # gradient aggregation
+            if sync:
+                mean_grad = self.server.aggregate_grads(
+                    [w.get_grads() for w in self.workers]
+                )
+                t_s = self.group.charge_sync(self.comm_bytes)
+                # The same averaged gradient lands on *divergent* local
+                # parameters — replicas are NOT re-consistent afterwards.
+                for w in self.workers:
+                    w.apply_gradient(mean_grad, lr)
+            else:
+                for w in self.workers:
+                    w.local_step(lr)
+
+        t_s = self.effective_sync_time(t_s, t_c)
+        if self.delta_policy is not None and hasattr(self.delta_policy, "observe"):
+            self.delta_policy.observe(sync)
+
+        finite = [d for d in deltas if np.isfinite(d)]
+        return IterationRecord(
+            step=i,
+            synced=sync,
+            sim_time=t_c + t_flags + self.delta_overhead_s + t_s + inject_time,
+            comm_time=t_flags + t_s + inject_time,
+            loss=float(np.mean(losses)),
+            grad_change=float(max(finite)) if finite else float("inf"),
+            extra={"n_flags": float(int(gathered.sum()))},
+        )

@@ -1,0 +1,185 @@
+"""Stale-Synchronous Parallel training (paper §II-C), event-driven.
+
+Each worker asynchronously pulls the global parameters, computes a gradient
+on its own shard, and pushes ``-lr·g`` to the PS, which applies updates in
+arrival order. A worker may run ahead of the slowest worker by at most ``s``
+iterations; beyond that it blocks until the laggard catches up. Staleness is
+*real* in this simulation: between a worker's pull and its push, other
+workers' updates land on the PS, so the pushed gradient was computed at
+stale parameters — exactly the mechanism that stalls deep models in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.simclock import EventQueue
+from repro.cluster.worker import SimWorker
+from repro.core.config import ClusterConfig, TrainConfig
+from repro.core.trainer import DistributedTrainer, TrainResult
+from repro.optim.schedules import LRSchedule
+from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+
+
+class SSPTrainer(DistributedTrainer):
+    """SSP with staleness threshold ``s``.
+
+    ``n_steps`` in the run config is interpreted per worker, matching
+    Table I's iteration counts (lock-step trainers advance all workers
+    together, so the convention is consistent across methods).
+    """
+
+    name = "ssp"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+        staleness: int = 100,
+    ):
+        super().__init__(workers, cluster, schedule)
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.staleness = staleness
+
+    def _push_pull_time(self) -> float:
+        """Asynchronous point-to-point exchange with the PS (pull + push).
+
+        No barrier: the cost is a single worker's link, not the cluster-wide
+        ingress collapse that synchronous PS rounds pay.
+        """
+        bits = 8.0 * self.comm_bytes
+        net = self.cluster.net
+        one_way = net.latency_s + bits / net.bandwidth_bps
+        return 2.0 * one_way
+
+    # The event-driven loop replaces the lock-step run().
+    def run(self, cfg: TrainConfig) -> TrainResult:
+        n = len(self.workers)
+        log = RunLog(name=self.name)
+        queue = EventQueue()
+        iters = np.zeros(n, dtype=np.int64)
+        blocked: List[int] = []
+        batch = self.workers[0].loader.batch_size
+        lr_of = self.lr
+        comm_t = self._push_pull_time()
+        best: Optional[float] = None
+        stale_evals = 0
+        stop = False
+        last_time = 0.0
+        total_eval_interval = cfg.eval_every * n  # worker-steps between evals
+        completed = 0
+
+        def start(worker_id: int, now: float) -> None:
+            """Pull, compute, and schedule the push completion."""
+            w = self.workers[worker_id]
+            w.set_params(self.server.pull())
+            w.compute_gradient()
+            t_c = self.compute.sample_time(self.flops_per_sample, batch, worker_id)
+            queue.push(now + t_c + comm_t, worker=worker_id)
+
+        for wid in range(n):
+            start(wid, 0.0)
+
+        while queue and not stop:
+            ev = queue.pop()
+            wid = ev.worker
+            w = self.workers[wid]
+            # Push: apply this worker's (possibly stale) update at the PS.
+            k = int(iters[wid])
+            self.server.async_apply(-lr_of(k) * w.get_grads())
+            iters[wid] += 1
+            completed += 1
+            log.record_iteration(
+                IterationRecord(
+                    step=completed - 1,
+                    synced=False,
+                    sim_time=ev.time - last_time,
+                    comm_time=comm_t,
+                    loss=w.last_loss,
+                    extra={"worker": float(wid), "staleness": float(iters[wid] - iters.min())},
+                )
+            )
+            last_time = ev.time
+
+            # Periodic evaluation of the global model.
+            if cfg.eval_fn is not None and completed % total_eval_interval == 0:
+                metric = self._eval_global(cfg)
+                log.record_eval(
+                    EvalRecord(
+                        step=completed - 1,
+                        epoch=float(np.mean([ww.epoch for ww in self.workers])),
+                        sim_time=ev.time,
+                        metric=metric,
+                    )
+                )
+                if best is None:
+                    best = metric
+                else:
+                    better = (
+                        metric > best + cfg.min_improvement
+                        if cfg.higher_is_better
+                        else metric < best - cfg.min_improvement
+                    )
+                    if better:
+                        best, stale_evals = metric, 0
+                    else:
+                        stale_evals += 1
+                        if cfg.patience is not None and stale_evals >= cfg.patience:
+                            stop = True
+
+            if iters[wid] >= cfg.n_steps:
+                pass  # this worker is done
+            elif iters[wid] - iters.min() > self.staleness:
+                blocked.append(wid)  # too far ahead: wait for stragglers
+            else:
+                start(wid, ev.time)
+
+            # Unblock fast workers whose lead shrank back under the bound.
+            still_blocked = []
+            for b in blocked:
+                if iters[b] - iters.min() <= self.staleness and iters[b] < cfg.n_steps:
+                    start(b, ev.time)
+                else:
+                    still_blocked.append(b)
+            blocked = still_blocked
+
+        final_metric = None
+        if cfg.eval_fn is not None:
+            final_metric = self._eval_global(cfg)
+            log.record_eval(
+                EvalRecord(
+                    step=completed - 1,
+                    epoch=float(np.mean([ww.epoch for ww in self.workers])),
+                    sim_time=last_time,
+                    metric=final_metric,
+                )
+            )
+            if best is None or (
+                final_metric > best if cfg.higher_is_better else final_metric < best
+            ):
+                best = final_metric
+
+        return TrainResult(
+            log=log,
+            final_metric=final_metric,
+            best_metric=best,
+            # Per-worker iterations, comparable with the lock-step trainers.
+            steps=int(iters.max()),
+            sim_time=last_time,
+            lssr=None,  # paper: LSSR does not apply to SSP
+        )
+
+    def _eval_global(self, cfg: TrainConfig) -> float:
+        w0 = self.workers[0]
+        saved = w0.get_params()
+        w0.set_params(self.server.pull())
+        w0.model.eval()
+        try:
+            return float(cfg.eval_fn(w0.model))
+        finally:
+            w0.model.train()
+            w0.set_params(saved)

@@ -1,0 +1,175 @@
+"""Distributed-trainer base class and result container.
+
+Concrete trainers (BSP, FedAvg, SSP, SelSync, local-SGD) implement a single
+``step`` and inherit the shared loop: per-step time accounting, periodic
+evaluation of the deployable model, the paper's until-no-improvement stopping
+rule, and RunLog assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.server import ParameterServer
+from repro.cluster.worker import SimWorker
+from repro.core.config import ClusterConfig, TrainConfig
+from repro.optim.schedules import ConstantLR, LRSchedule
+from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    log: RunLog
+    final_metric: Optional[float]
+    best_metric: Optional[float]
+    steps: int
+    sim_time: float
+    lssr: Optional[float]
+
+    def summary_row(self) -> dict:
+        return {
+            "steps": self.steps,
+            "lssr": self.lssr,
+            "metric": self.final_metric,
+            "best_metric": self.best_metric,
+            "sim_time": self.sim_time,
+        }
+
+
+class DistributedTrainer:
+    """Shared machinery for the lock-step trainers.
+
+    Subclasses implement :meth:`step`, returning an
+    :class:`~repro.utils.runlog.IterationRecord`; everything else (clock,
+    evaluation cadence, early stopping) lives here so all methods are
+    compared under identical protocols.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        workers: List[SimWorker],
+        cluster: ClusterConfig,
+        schedule: Optional[LRSchedule] = None,
+    ):
+        if len(workers) != cluster.n_workers:
+            raise ValueError(
+                f"got {len(workers)} workers for cluster of {cluster.n_workers}"
+            )
+        self.workers = workers
+        self.cluster = cluster
+        self.group = cluster.make_group()
+        self.compute = cluster.make_compute()
+        self.server = ParameterServer(workers[0].get_params())
+        self.schedule = schedule if schedule is not None else ConstantLR(0.01)
+        model = workers[0].model
+        self.comm_bytes = (
+            float(model.nbytes) if cluster.comm_bytes is None else float(cluster.comm_bytes)
+        )
+        self.flops_per_sample = (
+            float(getattr(model, "flops_per_sample", 2 * model.n_parameters))
+            if cluster.flops_per_sample is None
+            else float(cluster.flops_per_sample)
+        )
+
+    # -- subclass interface -----------------------------------------------
+    def step(self, i: int) -> IterationRecord:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+    def lr(self, i: int) -> float:
+        return self.schedule(i)
+
+    def max_compute_time(self, batch_size: int) -> float:
+        """Lock-step compute phase: all workers run concurrently, the round
+        takes as long as the slowest (the straggler effect of §II-A)."""
+        return float(self.compute.sample_all(self.flops_per_sample, batch_size).max())
+
+    def effective_sync_time(self, t_s: float, t_c: float) -> float:
+        """Apply the configured compute/communication overlap.
+
+        With ``overlap_fraction = f``, up to ``f·t_c`` of the sync can hide
+        behind the compute phase (backward-pass overlap as in GradientFlow /
+        ByteScheduler, §II-D); the remainder is serialized.
+        """
+        return max(0.0, t_s - self.cluster.overlap_fraction * t_c)
+
+    def mean_params(self) -> np.ndarray:
+        return np.mean(np.stack([w.get_params() for w in self.workers]), axis=0)
+
+    def deploy_model(self):
+        """Model carrying the deployable parameters (worker average).
+
+        For consistent-replica trainers this equals any worker's replica; for
+        semi-synchronous ones it is the natural serving model. Worker 0's
+        module is borrowed and restored by the caller via the returned token.
+        """
+        w0 = self.workers[0]
+        saved = w0.get_params()
+        w0.set_params(self.mean_params())
+        return w0.model, saved
+
+    def restore_model(self, saved: np.ndarray) -> None:
+        self.workers[0].set_params(saved)
+
+    def evaluate(self, cfg: TrainConfig) -> Optional[float]:
+        if cfg.eval_fn is None:
+            return None
+        model, saved = self.deploy_model()
+        model.eval()
+        try:
+            return float(cfg.eval_fn(model))
+        finally:
+            model.train()
+            self.restore_model(saved)
+
+    # -- the run loop ---------------------------------------------------------
+    def run(self, cfg: TrainConfig) -> TrainResult:
+        log = RunLog(name=self.name)
+        best: Optional[float] = None
+        stale_evals = 0
+        clock = 0.0
+        for i in range(cfg.n_steps):
+            rec = self.step(i)
+            clock += rec.sim_time
+            log.record_iteration(rec)
+            last = i == cfg.n_steps - 1
+            if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
+                metric = self.evaluate(cfg)
+                log.record_eval(
+                    EvalRecord(
+                        step=i,
+                        epoch=self.workers[0].epoch,
+                        sim_time=clock,
+                        metric=metric,
+                        metric_name="metric",
+                    )
+                )
+                if best is None:
+                    improved = True
+                elif cfg.higher_is_better:
+                    improved = metric > best + cfg.min_improvement
+                else:
+                    improved = metric < best - cfg.min_improvement
+                if improved:
+                    best = metric
+                    stale_evals = 0
+                else:
+                    stale_evals += 1
+                    if cfg.patience is not None and stale_evals >= cfg.patience:
+                        break
+        final = log.final_metric() if log.evals else None
+        return TrainResult(
+            log=log,
+            final_metric=final,
+            best_metric=best,
+            steps=log.n_steps,
+            sim_time=log.total_sim_time,
+            lssr=log.lssr() if log.n_steps else None,
+        )

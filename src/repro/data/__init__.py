@@ -1,0 +1,47 @@
+"""Data substrate: synthetic datasets, partitioning schemes and loaders.
+
+The paper's datasets (CIFAR10/100, ImageNet-1K, WikiText-103) are not
+available offline; the generators here produce class-conditional images and
+a Markov token corpus with the same *structural* properties — learnable
+class structure, configurable label counts for non-IID splits, and a token
+stream for BPTT language modelling (see DESIGN.md substitution table).
+"""
+
+from repro.data.dataset import ArrayDataset, Dataset, SequenceDataset
+from repro.data.synthetic import (
+    DATASETS,
+    build_dataset,
+    cifar10_like,
+    cifar100_like,
+    imagenet_like,
+    make_blobs,
+    wikitext_like,
+)
+from repro.data.partition import (
+    Partition,
+    default_partition,
+    selsync_partition,
+    label_skew_partition,
+)
+from repro.data.loader import BatchLoader
+from repro.data.injection import DataInjector, injected_batch_size
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "SequenceDataset",
+    "DATASETS",
+    "build_dataset",
+    "make_blobs",
+    "cifar10_like",
+    "cifar100_like",
+    "imagenet_like",
+    "wikitext_like",
+    "Partition",
+    "default_partition",
+    "selsync_partition",
+    "label_skew_partition",
+    "BatchLoader",
+    "DataInjector",
+    "injected_batch_size",
+]

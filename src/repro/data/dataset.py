@@ -1,0 +1,92 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal indexable dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def get_batch(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(inputs, targets)`` for the given sample indices."""
+        raise NotImplementedError
+
+    @property
+    def sample_nbytes(self) -> int:
+        """Size of one input sample in bytes — drives data-injection cost."""
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory supervised dataset over ``(X, y)`` arrays."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        if len(x) != len(y):
+            raise ValueError(f"X has {len(x)} samples but y has {len(y)}")
+        self.x = np.asarray(x)
+        self.y = np.asarray(y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def get_batch(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.x[indices], self.y[indices]
+
+    @property
+    def sample_nbytes(self) -> int:
+        return int(self.x[0].nbytes) if len(self.x) else 0
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.y
+
+
+class SequenceDataset(Dataset):
+    """Language-modelling dataset over a flat token stream.
+
+    Sample ``i`` is the window ``tokens[i*bptt : (i+1)*bptt]`` with targets
+    shifted by one — the standard truncated-BPTT batching the paper uses for
+    the Transformer (35 BPTT steps on WikiText-103).
+    """
+
+    def __init__(self, tokens: np.ndarray, bptt: int):
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError(f"token stream must be 1-D, got shape {tokens.shape}")
+        if bptt < 1:
+            raise ValueError(f"bptt must be >= 1, got {bptt}")
+        n = (len(tokens) - 1) // bptt
+        if n < 1:
+            raise ValueError(
+                f"stream of {len(tokens)} tokens too short for bptt={bptt}"
+            )
+        self.bptt = bptt
+        self.tokens = tokens
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def get_batch(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        indices = np.asarray(indices)
+        starts = indices * self.bptt
+        offsets = np.arange(self.bptt)
+        xs = self.tokens[starts[:, None] + offsets]
+        ys = self.tokens[starts[:, None] + offsets + 1]
+        return xs, ys
+
+    @property
+    def sample_nbytes(self) -> int:
+        return int(self.bptt * self.tokens.itemsize)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """First token of each window — a stand-in 'label' for partitioning."""
+        starts = np.arange(self._n) * self.bptt
+        return self.tokens[starts]

@@ -1,0 +1,16 @@
+"""Experiment harness: canonical workloads and per-figure/table generators."""
+
+from repro.experiments.workloads import WORKLOADS, Workload, build_workload
+from repro.experiments.runner import build_trainer, run_method
+from repro.experiments import figures, table1, reporting
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "build_workload",
+    "build_trainer",
+    "run_method",
+    "figures",
+    "table1",
+    "reporting",
+]

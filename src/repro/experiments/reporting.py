@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Human formatting: None → '-', floats rounded, bools as True/False."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(rows) -> str:
+    """Render :func:`repro.experiments.table1.run_table1` output."""
+    headers = [
+        "Workload", "Method", "Iterations", "LSSR", "Metric",
+        "ConvDiff", "BeatsBSP", "Speedup",
+    ]
+    body = [
+        [
+            r.workload,
+            r.method,
+            r.iterations,
+            r.lssr,
+            r.metric,
+            r.conv_diff,
+            r.outperforms_bsp,
+            r.speedup,
+        ]
+        for r in rows
+    ]
+    return render_table(headers, body, title="Table I reproduction")

@@ -1,0 +1,111 @@
+"""Method dispatch: build and run any trainer on a built workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import (
+    BSPTrainer,
+    EASGDTrainer,
+    FedAvgTrainer,
+    LocalSGDTrainer,
+    SSPTrainer,
+    SelSyncTrainer,
+    TrainConfig,
+)
+from repro.core.trainer import DistributedTrainer, TrainResult
+from repro.experiments.workloads import BuiltWorkload
+
+_TRAINERS = {
+    "bsp": BSPTrainer,
+    "localsgd": LocalSGDTrainer,
+    "fedavg": FedAvgTrainer,
+    "ssp": SSPTrainer,
+    "selsync": SelSyncTrainer,
+    "easgd": EASGDTrainer,
+}
+
+
+@dataclass
+class MethodSpec:
+    """One row of a comparison grid: a trainer plus its hyperparameters.
+
+    Examples: ``MethodSpec("fedavg", {"c_fraction": 0.5, "e_factor": 0.25})``,
+    ``MethodSpec("selsync", {"delta": 0.3})``.
+    """
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in _TRAINERS:
+            raise ValueError(
+                f"unknown trainer {self.kind!r}; known: {sorted(_TRAINERS)}"
+            )
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.kind}({inner})"
+
+
+def build_trainer(spec: MethodSpec, built: BuiltWorkload) -> DistributedTrainer:
+    cls = _TRAINERS[spec.kind]
+    return cls(built.workers, built.cluster, schedule=built.schedule, **spec.params)
+
+
+def run_method(
+    spec: MethodSpec,
+    built: BuiltWorkload,
+    n_steps: int,
+    eval_every: int = 50,
+    patience: Optional[int] = None,
+    higher_is_better: Optional[bool] = None,
+) -> TrainResult:
+    """Run one method on an already-built workload (workers are consumed:
+    rebuild the workload for the next method so everyone starts fresh)."""
+    trainer = build_trainer(spec, built)
+    cfg = TrainConfig(
+        n_steps=n_steps,
+        eval_every=eval_every,
+        eval_fn=built.eval_fn,
+        higher_is_better=(
+            built.higher_is_better if higher_is_better is None else higher_is_better
+        ),
+        patience=patience,
+    )
+    result = trainer.run(cfg)
+    result.log.meta = _manifest(spec, built, n_steps)
+    return result
+
+
+def _manifest(spec: MethodSpec, built: BuiltWorkload, n_steps: int) -> Dict:
+    """Reproducibility manifest stored in the run log header."""
+    import json
+
+    import repro
+
+    def jsonable(v):
+        try:
+            json.dumps(v)
+            return v
+        except TypeError:
+            return repr(v)
+
+    return {
+        "method": spec.display,
+        "kind": spec.kind,
+        "params": {k: jsonable(v) for k, v in spec.params.items()},
+        "n_workers": built.cluster.n_workers,
+        "n_steps": n_steps,
+        "batch_size": built.batch_size,
+        "partition": built.partition.scheme,
+        "seed": built.cluster.seed,
+        "repro_version": repro.__version__,
+    }

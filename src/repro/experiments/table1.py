@@ -1,0 +1,137 @@
+"""Table I: the full method grid across the four workloads.
+
+For each workload, run BSP, four FedAvg configurations, two SSP staleness
+settings and two SelSync thresholds under the paper's protocol (train until
+the eval metric stops improving), then derive LSSR, convergence difference
+vs BSP, the outperform flag, and overall speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.metrics import convergence_difference, speedup_vs_bsp
+from repro.core.trainer import TrainResult
+from repro.experiments.runner import MethodSpec, run_method
+from repro.experiments.workloads import get_workload
+
+#: The paper's method grid (Table I rows per workload). The SelSync rows use
+#: δ = 0.1 / 0.2 — the paper's δ = 0.3 / 0.5 mapped onto this substrate's
+#: Δ(g) scale by matching realized LSSR (see EXPERIMENTS.md).
+DEFAULT_METHODS: List[MethodSpec] = [
+    MethodSpec("bsp", label="BSP"),
+    MethodSpec("fedavg", {"c_fraction": 1.0, "e_factor": 0.25}, label="FedAvg (1, 0.25)"),
+    MethodSpec("fedavg", {"c_fraction": 1.0, "e_factor": 0.125}, label="FedAvg (1, 0.125)"),
+    MethodSpec("fedavg", {"c_fraction": 0.5, "e_factor": 0.25}, label="FedAvg (0.5, 0.25)"),
+    MethodSpec("fedavg", {"c_fraction": 0.5, "e_factor": 0.125}, label="FedAvg (0.5, 0.125)"),
+    MethodSpec("ssp", {"staleness": 100}, label="SSP s=100"),
+    MethodSpec("ssp", {"staleness": 200}, label="SSP s=200"),
+    MethodSpec("selsync", {"delta": 0.1}, label="SelSync d=0.1"),
+    MethodSpec("selsync", {"delta": 0.2}, label="SelSync d=0.2"),
+]
+
+DEFAULT_WORKLOADS = (
+    "resnet_cifar10",
+    "vgg_cifar100",
+    "alexnet_imagenet",
+    "transformer_wikitext",
+)
+
+
+@dataclass
+class Table1Row:
+    """One (workload, method) cell group of Table I."""
+
+    workload: str
+    method: str
+    iterations: int
+    lssr: Optional[float]
+    metric: Optional[float]
+    conv_diff: Optional[float]
+    outperforms_bsp: Optional[bool]
+    speedup: Optional[float]
+    sim_time: float
+
+
+def run_table1(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    methods: Sequence[MethodSpec] = tuple(DEFAULT_METHODS),
+    n_workers: int = 8,
+    n_steps: int = 400,
+    eval_every: int = 50,
+    patience: Optional[int] = 4,
+    data_scale: float = 0.4,
+    seed: int = 0,
+    conv_tolerance: float = 0.005,
+) -> List[Table1Row]:
+    """Run the grid and return one row per (workload, method).
+
+    ``conv_tolerance`` is the slack used for the speedup column's
+    "reached BSP quality" test (metrics are stochastic at this scale). It is
+    interpreted *relative* to the BSP metric's magnitude so it works on both
+    the accuracy scale (≈1) and the perplexity scale (≈tens).
+    """
+    rows: List[Table1Row] = []
+    for wname in workloads:
+        w = get_workload(wname)
+        results: Dict[str, TrainResult] = {}
+        bsp_result: Optional[TrainResult] = None
+        from repro.experiments.figures import BENCH_DATASET_OVERRIDES
+
+        for spec in methods:
+            # SSP and the paper's FedAvg/SelSync runs use the partitioning
+            # native to each method: SelDP for SelSync, DefDP otherwise.
+            scheme = "seldp" if spec.kind == "selsync" else "defdp"
+            built = w.build(
+                n_workers=n_workers,
+                n_steps=n_steps,
+                partition_scheme=scheme,
+                data_scale=data_scale,
+                seed=seed,
+                dataset_overrides=BENCH_DATASET_OVERRIDES.get(wname),
+            )
+            res = run_method(
+                spec,
+                built,
+                n_steps=n_steps,
+                eval_every=eval_every,
+                patience=patience,
+            )
+            results[spec.display] = res
+            if spec.kind == "bsp":
+                bsp_result = res
+
+        scale = 1.0
+        if bsp_result is not None and bsp_result.best_metric is not None:
+            scale = max(1.0, abs(bsp_result.best_metric))
+        tol = conv_tolerance * scale
+        for spec in methods:
+            res = results[spec.display]
+            if spec.kind == "bsp":
+                conv, outp, speed = 0.0, None, 1.0
+            else:
+                conv = convergence_difference(
+                    bsp_result, res, higher_is_better=w.higher_is_better
+                )
+                outp = conv is not None and conv >= -tol
+                speed = speedup_vs_bsp(
+                    bsp_result,
+                    res,
+                    higher_is_better=w.higher_is_better,
+                    tolerance=tol,
+                )
+            rows.append(
+                Table1Row(
+                    workload=wname,
+                    method=spec.display,
+                    iterations=res.steps,
+                    lssr=res.lssr,
+                    metric=res.best_metric,
+                    conv_diff=conv,
+                    outperforms_bsp=outp,
+                    speedup=speed,
+                    sim_time=res.sim_time,
+                )
+            )
+    return rows

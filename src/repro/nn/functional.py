@@ -1,0 +1,143 @@
+"""Stateless numerical kernels shared by the layers.
+
+Everything here is fully vectorized numpy (no Python loops over samples),
+per the HPC guide: convolutions use im2col/col2im so the inner work is one
+big GEMM, and softmax/log-softmax are computed in the numerically stable
+shifted form.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+# -- activations -----------------------------------------------------------
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    return grad_out * (x > 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh approximation of GELU (matches the common transformer variant)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2.0 / np.pi)
+    u = c * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    du = c * (1.0 + 3 * 0.044715 * x**2)
+    return grad_out * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * du)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+# -- softmax family ----------------------------------------------------------
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_backward(
+    probs: np.ndarray, grad_out: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Backward through softmax given its output ``probs``."""
+    dot = np.sum(grad_out * probs, axis=axis, keepdims=True)
+    return probs * (grad_out - dot)
+
+
+# -- im2col convolution plumbing ------------------------------------------------
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed to {out} "
+            f"(size={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold NCHW input into a (N*OH*OW, C*kh*kw) patch matrix.
+
+    Returns the patch matrix together with the output spatial dims. Built
+    with stride tricks so no data is copied until the final reshape.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, oh, ow, kh, kw)
+    strides = (sn, sc, sh * stride, sw * stride, sh, sw)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    # (N, OH, OW, C, kh, kw) -> rows are output positions, cols are patch taps
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold a patch-gradient matrix back into an NCHW gradient (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    # Accumulate each kernel tap's contribution with one vectorized add.
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            out[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
+    if pad > 0:
+        return out[:, :, pad:-pad, pad:-pad]
+    return out
+
+
+# -- misc ------------------------------------------------------------------
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= n_classes:
+        raise ValueError(
+            f"labels out of range [0, {n_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.size, n_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels.ravel()] = 1.0
+    return out.reshape(*labels.shape, n_classes)

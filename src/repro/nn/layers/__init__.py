@@ -1,0 +1,31 @@
+"""Neural-network layers with explicit forward/backward passes."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.norm import BatchNorm2d, LayerNorm
+from repro.nn.layers.activation import ReLU, GELU, Tanh
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.attention import MultiHeadSelfAttention
+from repro.nn.layers.container import Sequential, Residual
+from repro.nn.layers.reshape import Flatten
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "Sequential",
+    "Residual",
+    "Flatten",
+]

@@ -1,0 +1,47 @@
+"""Pointwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def __init__(self):
+        super().__init__()
+        self._x: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.relu_grad(self._x, grad_out)
+
+
+class GELU(Module):
+    def __init__(self):
+        super().__init__()
+        self._x: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.gelu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.gelu_grad(self._x, grad_out)
+
+
+class Tanh(Module):
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out**2)

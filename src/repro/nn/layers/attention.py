@@ -1,0 +1,86 @@
+"""Multi-head self-attention (the Transformer's core block)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over ``(B, T, D)`` inputs.
+
+    Supports an optional causal mask for autoregressive language modelling
+    (the paper's Transformer on WikiText-103 is a causal LM). All four
+    projections are :class:`Linear` layers so their parameters participate
+    in aggregation like any other weight.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        causal: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        rq, rk, rv, ro = spawn_rngs(rng, 4)
+        self.q_proj = Linear(dim, dim, rng=rq)
+        self.k_proj = Linear(dim, dim, rng=rk)
+        self.v_proj = Linear(dim, dim, rng=rv)
+        self.out_proj = Linear(dim, dim, rng=ro)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != self.dim:
+            raise ValueError(
+                f"attention expected (B, T, {self.dim}), got {x.shape}"
+            )
+        b, t, _ = x.shape
+        q = self._split_heads(self.q_proj.forward(x))
+        k = self._split_heads(self.k_proj.forward(x))
+        v = self._split_heads(self.v_proj.forward(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        if self.causal:
+            mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        probs = F.softmax(scores, axis=-1)
+        attn = probs @ v  # (B, H, T, dh)
+        out = self.out_proj.forward(self._merge_heads(attn))
+        self._cache = (q, k, v, probs, scale)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        q, k, v, probs, scale = self._cache
+        d_merged = self.out_proj.backward(grad_out)
+        b, t, _ = d_merged.shape
+        d_attn = self._split_heads(d_merged)  # (B, H, T, dh)
+        d_probs = d_attn @ v.transpose(0, 1, 3, 2)
+        d_v = probs.transpose(0, 1, 3, 2) @ d_attn
+        d_scores = F.softmax_backward(probs, d_probs, axis=-1)
+        # Masked positions have probability exactly 0, so softmax_backward
+        # already routes zero gradient through them.
+        d_q = (d_scores @ k) * scale
+        d_k = (d_scores.transpose(0, 1, 3, 2) @ q) * scale
+        dx = self.q_proj.backward(self._merge_heads(d_q))
+        dx = dx + self.k_proj.backward(self._merge_heads(d_k))
+        dx = dx + self.v_proj.backward(self._merge_heads(d_v))
+        return dx

@@ -1,0 +1,82 @@
+"""2-D convolution via im2col (one GEMM per forward/backward)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, as_rng
+
+
+class Conv2d(Module):
+    """NCHW convolution.
+
+    Parameters follow the usual convention: ``weight`` is
+    ``(out_channels, in_channels, kh, kw)``. The forward pass unfolds the
+    input with :func:`im2col` and performs a single matrix multiply, keeping
+    the hot loop inside BLAS.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng=rng
+            ),
+            "weight",
+        )
+        self.bias = (
+            Parameter(init.zeros(out_channels), "bias") if bias else None
+        )
+        self._cols: np.ndarray = np.zeros(0)
+        self._x_shape = (0, 0, 0, 0)
+        self._out_hw = (0, 0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        k = self.kernel_size
+        cols, oh, ow = im2col(x, k, k, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (oh, ow)
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w2.T  # (N*OH*OW, out_channels)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = self._x_shape[0]
+        oh, ow = self._out_hw
+        k = self.kernel_size
+        g2 = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, self.out_channels)
+        self.weight.accumulate_grad(
+            (g2.T @ self._cols).reshape(self.weight.data.shape)
+        )
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2.sum(axis=0))
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        dcols = g2 @ w2
+        return col2im(dcols, self._x_shape, k, k, self.stride, self.padding)

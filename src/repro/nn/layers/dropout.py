@@ -1,0 +1,37 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, as_rng
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode, identity in eval.
+
+    Scaling by ``1/(1-p)`` at train time keeps activation magnitudes constant
+    so evaluation requires no rescaling.
+    """
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = as_rng(rng)
+        self._mask: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = np.ones(0)  # sentinel: identity backward
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask.size == 0:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,49 @@
+"""Token embedding lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, as_rng
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors.
+
+    Input: integer array of any shape; output gains a trailing ``dim`` axis.
+    The backward pass scatter-adds into the weight gradient with
+    ``np.add.at`` so repeated tokens accumulate correctly.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: RngLike = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, dim), std=0.1, rng=as_rng(rng)),
+            "weight",
+        )
+        self._ids: np.ndarray = np.zeros(0, dtype=np.int64)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer ids, got {ids.dtype}")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise ValueError(
+                f"token ids out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        dw = np.zeros_like(self.weight.data)
+        np.add.at(dw, self._ids.ravel(), grad_out.reshape(-1, self.dim))
+        self.weight.accumulate_grad(dw)
+        # Integer inputs have no gradient; return zeros of the id shape for
+        # interface uniformity.
+        return np.zeros(self._ids.shape, dtype=np.float64)

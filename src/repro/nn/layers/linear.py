@@ -1,0 +1,56 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, as_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b``.
+
+    Accepts inputs of shape ``(..., in_features)``; leading dimensions are
+    treated as batch dims (the transformer feeds ``(T, B, D)`` activations).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), rng=rng), "weight"
+        )
+        self.bias = (
+            Parameter(init.zeros(out_features), "bias") if bias else None
+        )
+        self._x: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x2 = self._x.reshape(-1, self.in_features)
+        g2 = grad_out.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(g2.T @ x2)
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2.sum(axis=0))
+        return grad_out @ self.weight.data

@@ -1,0 +1,82 @@
+"""Spatial pooling layers over NCHW activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with square kernel; stride defaults to kernel size."""
+
+    def __init__(self, kernel_size: int, stride: int = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = kernel_size if stride is None else stride
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        # Pool each channel independently: fold channels into the batch dim
+        # so im2col produces per-channel patches.
+        cols, oh, ow = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        self._cache = (argmax, cols.shape, (n, c, h, w), oh, ow)
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        argmax, cols_shape, x_shape, oh, ow = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel_size, self.stride
+        dcols = np.zeros(cols_shape, dtype=grad_out.dtype)
+        dcols[np.arange(cols_shape[0]), argmax] = grad_out.ravel()
+        dx = col2im(dcols, (n * c, 1, h, w), k, k, s, 0)
+        return dx.reshape(n, c, h, w)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square kernel; stride defaults to kernel size."""
+
+    def __init__(self, kernel_size: int, stride: int = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = kernel_size if stride is None else stride
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        cols, oh, ow = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        self._cache = ((n, c, h, w), cols.shape, oh, ow)
+        return cols.mean(axis=1).reshape(n, c, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape, cols_shape, oh, ow = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel_size, self.stride
+        dcols = np.repeat(
+            grad_out.reshape(-1, 1) / (k * k), cols_shape[1], axis=1
+        )
+        dx = col2im(dcols, (n * c, 1, h, w), k, k, s, 0)
+        return dx.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Collapse each channel's spatial map to its mean: (N,C,H,W) -> (N,C)."""
+
+    def __init__(self):
+        super().__init__()
+        self._hw = (0, 0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._hw = x.shape[2:]
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        h, w = self._hw
+        g = grad_out[:, :, None, None] / (h * w)
+        return np.broadcast_to(g, (*grad_out.shape, h, w)).copy()

@@ -1,0 +1,29 @@
+"""Model zoo: downscaled analogs of the paper's four DNN families.
+
+| Paper model  | Analog here       | Shared property the paper leans on      |
+|--------------|-------------------|-----------------------------------------|
+| ResNet101    | SmallResNet       | deep, skip connections, batch norm      |
+| VGG11        | SmallVGG          | plain conv stack, large dense head      |
+| AlexNet      | SmallAlexNet      | shallow conv + dropout + dense head     |
+| Transformer  | TinyTransformer   | causal self-attention language model    |
+
+Models register themselves in :data:`MODELS`, keyed by name, so experiment
+configs can reference them as strings.
+"""
+
+from repro.nn.models.registry import MODELS, build_model
+from repro.nn.models.mlp import MLP
+from repro.nn.models.resnet import SmallResNet
+from repro.nn.models.vgg import SmallVGG
+from repro.nn.models.alexnet import SmallAlexNet
+from repro.nn.models.transformer import TinyTransformer
+
+__all__ = [
+    "MODELS",
+    "build_model",
+    "MLP",
+    "SmallResNet",
+    "SmallVGG",
+    "SmallAlexNet",
+    "TinyTransformer",
+]

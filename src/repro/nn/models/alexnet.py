@@ -1,0 +1,73 @@
+"""SmallAlexNet — shallow conv net with dropout head, the AlexNet stand-in."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.models.registry import MODELS
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+@MODELS.register("smallalexnet")
+class SmallAlexNet(Module):
+    """Few wide conv layers then a dropout-regularized dense classifier.
+
+    The paper trains AlexNet with Adam and a fixed learning rate on
+    ImageNet-1K; the experiments harness mirrors that pairing with the
+    imagenet-like synthetic dataset.
+    """
+
+    task = "classification"
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        n_classes: int = 20,
+        base: int = 12,
+        fc_width: int = 96,
+        image_size: int = 16,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        self.n_classes = n_classes
+        self.image_size = image_size
+        self.in_channels = in_channels
+        r = spawn_rngs(rng, 5)
+        spatial = image_size // 4
+        flat = 2 * base * spatial * spatial
+        self.net = Sequential(
+            Conv2d(in_channels, base, 5, padding=2, rng=r[0]),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(base, 2 * base, 3, padding=1, rng=r[1]),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(flat, fc_width, rng=r[2]),
+            ReLU(),
+            Dropout(0.5, rng=r[3]),
+            Linear(fc_width, n_classes, rng=r[4]),
+        )
+        s1 = image_size * image_size
+        s2 = (image_size // 2) ** 2
+        conv_flops = 2 * (
+            25 * in_channels * base * s1 + 9 * base * 2 * base * s2
+        )
+        fc_flops = 2 * (flat * fc_width + fc_width * n_classes)
+        self.flops_per_sample = int(conv_flops + fc_flops)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,13 @@
+"""Model registry shared by the experiment harness."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.utils.registry import Registry
+
+MODELS: Registry = Registry("model")
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name (e.g. ``"smallresnet"``)."""
+    return MODELS.create(name, **kwargs)

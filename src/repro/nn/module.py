@@ -1,0 +1,141 @@
+"""Base class for all network modules.
+
+The library uses explicit layer-wise backpropagation: ``forward`` caches the
+activations it needs, ``backward`` consumes the upstream gradient, adds to
+each parameter's ``grad`` and returns the gradient w.r.t. its input. This is
+simpler and faster in numpy than a full tape-based autograd, and every layer
+is verified against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.utils.flatten import flatten_arrays, unflatten_like
+
+
+class Module:
+    """Base module: parameter bookkeeping, train/eval mode, flat views."""
+
+    def __init__(self):
+        self._params: Dict[str, Parameter] = {}
+        self._children: Dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- registration ------------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        param.name = name
+        self._params[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def __setattr__(self, name, value):
+        # Auto-register parameters and sub-modules assigned as attributes.
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_params", {})
+            self._params[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_children", {})
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first, stable order."""
+        for name, p in self._params.items():
+            yield (f"{prefix}{name}", p)
+        for cname, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{cname}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._children.values():
+            yield from child.modules()
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.parameters())
+
+    @property
+    def nbytes(self) -> int:
+        """Model size in bytes — drives the communication cost model."""
+        return sum(p.nbytes for p in self.parameters())
+
+    # -- modes ---------------------------------------------------------------
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- gradients -------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- flat parameter / gradient views --------------------------------------
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameter data into one float64 vector (copy)."""
+        return flatten_arrays([p.data for p in self.parameters()])
+
+    def set_flat_params(self, vec: np.ndarray) -> None:
+        """Write a flat vector back into the parameters, in place."""
+        params = self.parameters()
+        chunks = unflatten_like(vec, [p.data for p in params])
+        for p, c in zip(params, chunks):
+            p.data[...] = c
+
+    def get_flat_grads(self) -> np.ndarray:
+        return flatten_arrays([p.grad for p in self.parameters()])
+
+    def set_flat_grads(self, vec: np.ndarray) -> None:
+        params = self.parameters()
+        chunks = unflatten_like(vec, [p.grad for p in params])
+        for p, c in zip(params, chunks):
+            p.grad[...] = c
+
+    # -- state dict -------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if state[name].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{state[name].shape} vs {p.data.shape}"
+                )
+            p.data[...] = state[name]
+
+    # -- interface the subclasses implement --------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

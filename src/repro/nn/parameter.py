@@ -1,0 +1,66 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Layers own :class:`Parameter` objects; optimizers read ``grad`` and write
+    ``data`` in place. Gradients accumulate across ``backward`` calls until
+    :meth:`zero_grad` — the same contract as mainstream frameworks, which the
+    trainers rely on when replaying micro-batches.
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "param",
+        requires_grad: bool = True,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, g: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if g.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {g.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        self.grad += g
+
+    def copy_(self, other: "Parameter") -> None:
+        """In-place copy of another parameter's data (not its gradient)."""
+        if other.data.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy {other.data.shape} into {self.data.shape}"
+            )
+        self.data[...] = other.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.data.shape})"

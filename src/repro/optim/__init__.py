@@ -1,0 +1,21 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedules import (
+    ConstantLR,
+    MultiStepDecay,
+    IntervalDecay,
+    LRSchedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "MultiStepDecay",
+    "IntervalDecay",
+    "LRSchedule",
+]

@@ -1,0 +1,56 @@
+"""Adam optimizer (Kingma & Ba, 2014) — used for the AlexNet workload."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction.
+
+    The per-parameter step counter lives in the slot state so that resetting
+    slots after a parameter synchronization also restarts bias correction —
+    stale second moments from a divergent replica would otherwise poison the
+    first post-sync steps.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(module, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, p: Parameter, state: Dict[str, np.ndarray]) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        if "m" not in state:
+            state["m"] = np.zeros_like(p.data)
+            state["v"] = np.zeros_like(p.data)
+            state["t"] = np.zeros(1)
+        m, v = state["m"], state["v"]
+        state["t"] += 1
+        t = float(state["t"][0])
+        m *= self.b1
+        m += (1 - self.b1) * g
+        v *= self.b2
+        v += (1 - self.b2) * g * g
+        mhat = m / (1 - self.b1**t)
+        vhat = v / (1 - self.b2**t)
+        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

@@ -1,0 +1,77 @@
+"""Learning-rate schedules.
+
+Schedules are pure functions of the global step, decoupled from optimizers,
+so every trainer (BSP, FedAvg, SSP, SelSync) applies exactly the same decay
+trajectory — the paper's Fig. 5 leans on LR-decay boundaries producing
+visible spikes in Δ(g_i), which requires the schedule to be shared.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class LRSchedule:
+    """Base class: ``lr(step)`` maps a global step index to a learning rate."""
+
+    def lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        return self.lr(step)
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate (the paper's AlexNet/Adam configuration)."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class MultiStepDecay(LRSchedule):
+    """Multiply by ``gamma`` at each milestone step.
+
+    The paper decays ResNet101's LR 10× after epochs 110/150 and VGG11's
+    after 50/75; the workload layer converts those epochs to steps.
+    """
+
+    def __init__(self, base_lr: float, milestones: Sequence[int], gamma: float = 0.1):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        if sorted(milestones) != list(milestones):
+            raise ValueError(f"milestones must be ascending, got {milestones}")
+        self.base_lr = base_lr
+        self.milestones = list(milestones)
+        self.gamma = gamma
+
+    def lr(self, step: int) -> float:
+        k = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * self.gamma**k
+
+
+class IntervalDecay(LRSchedule):
+    """Multiply by ``gamma`` every ``interval`` steps.
+
+    The paper's Transformer decays LR by 0.8 every 2000 iterations.
+    """
+
+    def __init__(self, base_lr: float, interval: int, gamma: float = 0.8):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.base_lr = base_lr
+        self.interval = interval
+        self.gamma = gamma
+
+    def lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.interval)

@@ -1,0 +1,53 @@
+"""Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD implementing Eqn. (1)'s update with the standard extensions.
+
+    ``velocity = momentum * velocity + grad + weight_decay * param`` and the
+    parameter moves against ``velocity`` (or the Nesterov look-ahead form).
+    This matches the hyperparameters the paper reports for ResNet101/VGG11
+    (momentum 0.9 with weight decay) and the Transformer (plain SGD).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(module, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def _update(self, p: Parameter, state: Dict[str, np.ndarray]) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        if self.momentum:
+            if "velocity" not in state:
+                state["velocity"] = np.zeros_like(p.data)
+            v = state["velocity"]
+            v *= self.momentum
+            v += g
+            g = g + self.momentum * v if self.nesterov else v
+        p.data -= self.lr * g

@@ -1,0 +1,37 @@
+"""Shared utilities: seeded RNG, EWMA smoothing, flattening, registries."""
+
+from repro.utils.rng import RngPool, spawn_rngs, as_rng
+from repro.utils.ewma import Ewma, ewma_series
+from repro.utils.flatten import flatten_arrays, unflatten_like, tree_map
+from repro.utils.registry import Registry
+from repro.utils.runlog import RunLog, IterationRecord
+from repro.utils.timer import WallTimer
+from repro.utils.serialization import (
+    load_model,
+    load_runlog,
+    save_model,
+    save_runlog,
+)
+from repro.utils.asciiplot import histogram, line_plot, sparkline
+
+__all__ = [
+    "RngPool",
+    "spawn_rngs",
+    "as_rng",
+    "Ewma",
+    "ewma_series",
+    "flatten_arrays",
+    "unflatten_like",
+    "tree_map",
+    "Registry",
+    "RunLog",
+    "IterationRecord",
+    "WallTimer",
+    "save_runlog",
+    "load_runlog",
+    "save_model",
+    "load_model",
+    "sparkline",
+    "line_plot",
+    "histogram",
+]

@@ -1,0 +1,103 @@
+"""Terminal plotting: sparklines, line plots and histograms in plain text.
+
+The benchmark harness regenerates the paper's *figures*; these helpers let
+the result files show the curve shapes themselves (not just summary tables)
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline; NaNs render as spaces.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        frac = 0.5 if span == 0 else (v - lo) / span
+        idx = min(len(_SPARK_LEVELS) - 1, int(frac * len(_SPARK_LEVELS)))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def line_plot(
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: Optional[str] = None,
+) -> str:
+    """Multi-row ASCII line plot of one series, resampled to ``width``.
+
+    Rows run top (max) to bottom (min); the y-range is annotated.
+    """
+    if width < 2 or height < 2:
+        raise ValueError(f"plot must be at least 2x2, got {width}x{height}")
+    arr = np.asarray(list(ys), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no finite data)"
+    # Resample to the target width by bucket means.
+    edges = np.linspace(0, arr.size, width + 1).astype(int)
+    cols = np.array([
+        arr[a:b].mean() if b > a else np.nan for a, b in zip(edges[:-1], edges[1:])
+    ])
+    finite = cols[np.isfinite(cols)]
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(cols):
+        if not np.isfinite(v):
+            continue
+        row = height - 1 - int((v - lo) / span * (height - 1))
+        grid[row][x] = "*"
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    for i, row in enumerate(grid):
+        edge = f"{hi:.3g}" if i == 0 else (f"{lo:.3g}" if i == height - 1 else "")
+        lines.append(f"{edge:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    label: Optional[str] = None,
+) -> str:
+    """Horizontal-bar histogram."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no finite data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{lo:>10.3g} .. {hi:<10.3g} |{bar} {c}")
+    return "\n".join(lines)

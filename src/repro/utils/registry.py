@@ -1,0 +1,51 @@
+"""A tiny name → factory registry.
+
+Used to register model architectures, datasets and trainers so experiment
+configs can reference them by string (e.g. ``"smallresnet"``) the way the
+benchmark harness and CLI examples do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Case-insensitive registry mapping names to factories."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Decorator: ``@registry.register("name")``."""
+        key = name.lower()
+
+        def deco(fn: Callable[..., T]) -> Callable[..., T]:
+            if key in self._entries:
+                raise KeyError(f"{self.kind} {name!r} already registered")
+            self._entries[key] = fn
+            return fn
+
+        return deco
+
+    def get(self, name: str) -> Callable[..., T]:
+        key = name.lower()
+        if key not in self._entries:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+        return self._entries[key]
+
+    def create(self, name: str, *args, **kwargs) -> T:
+        return self.get(name)(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def names(self):
+        return sorted(self._entries)

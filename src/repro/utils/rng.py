@@ -1,0 +1,83 @@
+"""Deterministic random-number management.
+
+Everything stochastic in the library (weight init, batch sampling, straggler
+noise, worker selection for data injection) flows through
+:class:`numpy.random.Generator` objects derived from a single seed, so
+experiments are exactly reproducible and simulated workers get independent
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, None, np.random.Generator]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn` so the streams do not
+    overlap — the recommended pattern for parallel workers.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        children = seq.spawn(n)
+    else:
+        children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(c) for c in children]
+
+
+class RngPool:
+    """A named pool of independent RNG streams derived from one master seed.
+
+    Simulated components ask the pool for a stream by name (for example
+    ``pool.get("worker-3")``); the same name always yields the same stream
+    for a given master seed, so adding a new consumer never perturbs the
+    randomness seen by existing ones.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._streams: dict = {}
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            # Hash the name into the entropy so streams are independent and
+            # stable across runs regardless of request order.
+            entropy = [0 if self._seed is None else self._seed]
+            entropy.extend(name.encode("utf-8"))
+            self._streams[name] = np.random.default_rng(
+                np.random.SeedSequence(entropy)
+            )
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngPool":
+        """Return a child pool whose streams are independent of this pool's."""
+        entropy = 0 if self._seed is None else self._seed
+        child_seed = int(
+            np.random.SeedSequence(
+                [entropy, *name.encode("utf-8"), 0x5E15]
+            ).generate_state(1)[0]
+        )
+        return RngPool(child_seed)

@@ -1,0 +1,167 @@
+"""Structured per-iteration run logging.
+
+Every trainer emits one :class:`IterationRecord` per training step into a
+:class:`RunLog`. The experiment harness consumes these logs to regenerate the
+paper's tables and figures (simulated time, LSSR, accuracy trajectories,
+gradient-change traces) without the trainers knowing anything about plotting
+or reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """One training iteration as seen by the simulated cluster.
+
+    Attributes
+    ----------
+    step:
+        Global iteration index (0-based).
+    synced:
+        Whether this step performed a cluster-wide synchronization.
+    sim_time:
+        Simulated wall-clock duration of this step (seconds).
+    comm_time:
+        Portion of ``sim_time`` spent in communication.
+    loss:
+        Mean training loss across workers for this step.
+    grad_change:
+        Max over workers of the relative gradient change Δ(g_i); ``None``
+        for trainers that do not track it (BSP/FedAvg/SSP).
+    extra:
+        Trainer-specific scalars (e.g. staleness for SSP).
+    """
+
+    step: int
+    synced: bool
+    sim_time: float
+    comm_time: float = 0.0
+    loss: float = float("nan")
+    grad_change: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class EvalRecord:
+    """A periodic evaluation snapshot (test accuracy or perplexity)."""
+
+    step: int
+    epoch: float
+    sim_time: float
+    metric: float
+    metric_name: str = "accuracy"
+
+
+class RunLog:
+    """Accumulates iteration and evaluation records for one training run.
+
+    ``meta`` holds the reproducibility manifest (method, workload, seeds,
+    library version) attached by the experiment runner; it round-trips
+    through :func:`repro.utils.serialization.save_runlog`.
+    """
+
+    def __init__(self, name: str = "run", meta: Optional[Dict] = None):
+        self.name = name
+        self.meta: Dict = dict(meta) if meta else {}
+        self.iterations: List[IterationRecord] = []
+        self.evals: List[EvalRecord] = []
+
+    # -- recording -------------------------------------------------------
+    def record_iteration(self, rec: IterationRecord) -> None:
+        self.iterations.append(rec)
+
+    def record_eval(self, rec: EvalRecord) -> None:
+        self.evals.append(rec)
+
+    # -- aggregate views -------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_sim_time(self) -> float:
+        """Total simulated wall-clock across all recorded steps."""
+        return float(sum(r.sim_time for r in self.iterations))
+
+    @property
+    def total_comm_time(self) -> float:
+        return float(sum(r.comm_time for r in self.iterations))
+
+    @property
+    def n_synced(self) -> int:
+        return sum(1 for r in self.iterations if r.synced)
+
+    @property
+    def n_local(self) -> int:
+        return self.n_steps - self.n_synced
+
+    def lssr(self) -> float:
+        """Local-to-synchronous step ratio, Eqn. (4) of the paper.
+
+        ``LSSR = steps_local / (steps_local + steps_bsp)``. 0.0 for pure BSP,
+        1.0 for pure local-SGD. Raises if no steps were recorded.
+        """
+        if self.n_steps == 0:
+            raise ValueError("LSSR undefined on an empty run log")
+        return self.n_local / self.n_steps
+
+    def communication_reduction(self) -> float:
+        """Communication reduction w.r.t. BSP: ``1 / (1 - LSSR)``."""
+        lssr = self.lssr()
+        if lssr >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - lssr)
+
+    def losses(self) -> np.ndarray:
+        return np.array([r.loss for r in self.iterations], dtype=np.float64)
+
+    def grad_changes(self) -> np.ndarray:
+        """Per-step Δ(g); NaN where not tracked."""
+        return np.array(
+            [
+                np.nan if r.grad_change is None else r.grad_change
+                for r in self.iterations
+            ],
+            dtype=np.float64,
+        )
+
+    def sim_times(self) -> np.ndarray:
+        return np.array([r.sim_time for r in self.iterations], dtype=np.float64)
+
+    def eval_curve(self):
+        """Return ``(steps, metrics)`` arrays of the evaluation snapshots."""
+        steps = np.array([e.step for e in self.evals], dtype=np.int64)
+        metrics = np.array([e.metric for e in self.evals], dtype=np.float64)
+        return steps, metrics
+
+    def best_metric(self, higher_is_better: bool = True) -> float:
+        """Best evaluation metric observed over the run."""
+        if not self.evals:
+            raise ValueError("no evaluation records in run log")
+        vals = [e.metric for e in self.evals]
+        return max(vals) if higher_is_better else min(vals)
+
+    def final_metric(self) -> float:
+        if not self.evals:
+            raise ValueError("no evaluation records in run log")
+        return self.evals[-1].metric
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary of headline statistics for reporting."""
+        out = {
+            "steps": float(self.n_steps),
+            "synced_steps": float(self.n_synced),
+            "sim_time": self.total_sim_time,
+            "comm_time": self.total_comm_time,
+        }
+        if self.n_steps:
+            out["lssr"] = self.lssr()
+        if self.evals:
+            out["final_metric"] = self.final_metric()
+        return out

@@ -1,0 +1,131 @@
+"""Run-artifact serialization.
+
+Training runs are expensive; these helpers persist a
+:class:`~repro.utils.runlog.RunLog` (JSONL: one iteration or eval record per
+line) and model state dicts (``.npz``) so experiments can be resumed,
+re-plotted or diffed without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+
+PathLike = Union[str, Path]
+
+
+def save_runlog(log: RunLog, path: PathLike) -> None:
+    """Write a run log as JSONL: a header line, then one record per line."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(
+            json.dumps({"kind": "header", "name": log.name, "meta": log.meta})
+            + "\n"
+        )
+        for r in log.iterations:
+            f.write(
+                json.dumps(
+                    {
+                        "kind": "iter",
+                        "step": r.step,
+                        "synced": r.synced,
+                        "sim_time": r.sim_time,
+                        "comm_time": r.comm_time,
+                        "loss": None if np.isnan(r.loss) else r.loss,
+                        "grad_change": _encode_float(r.grad_change),
+                        "extra": r.extra,
+                    }
+                )
+                + "\n"
+            )
+        for e in log.evals:
+            f.write(
+                json.dumps(
+                    {
+                        "kind": "eval",
+                        "step": e.step,
+                        "epoch": e.epoch,
+                        "sim_time": e.sim_time,
+                        "metric": e.metric,
+                        "metric_name": e.metric_name,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_runlog(path: PathLike) -> RunLog:
+    """Inverse of :func:`save_runlog`."""
+    path = Path(path)
+    log = RunLog()
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("kind")
+            if kind == "header":
+                log.name = rec["name"]
+                log.meta = rec.get("meta", {})
+            elif kind == "iter":
+                log.record_iteration(
+                    IterationRecord(
+                        step=rec["step"],
+                        synced=rec["synced"],
+                        sim_time=rec["sim_time"],
+                        comm_time=rec["comm_time"],
+                        loss=float("nan") if rec["loss"] is None else rec["loss"],
+                        grad_change=_decode_float(rec["grad_change"]),
+                        extra=rec.get("extra", {}),
+                    )
+                )
+            elif kind == "eval":
+                log.record_eval(EvalRecord(**rec))
+            else:
+                raise ValueError(f"unknown record kind {kind!r} in {path}")
+    return log
+
+
+def _encode_float(x):
+    """JSON has no inf/nan; encode them as strings."""
+    if x is None:
+        return None
+    if np.isnan(x):
+        return "nan"
+    if np.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    return float(x)
+
+
+def _decode_float(x):
+    if x is None:
+        return None
+    if isinstance(x, str):
+        return float(x)
+    return float(x)
+
+
+def save_model(model: Module, path: PathLike) -> None:
+    """Persist a model's named parameters as a compressed ``.npz``."""
+    state = model.state_dict()
+    # npz keys cannot contain '/'; dots are fine.
+    np.savez_compressed(Path(path), **state)
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model`` in place.
+
+    The architectures must match exactly — mismatches raise via
+    :meth:`Module.load_state_dict`.
+    """
+    with np.load(Path(path)) as data:
+        state: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,32 @@
+"""Wall-clock timing helper for the overhead micro-benchmarks (Fig. 8)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class WallTimer:
+    """Context-manager stopwatch measuring elapsed seconds.
+
+    >>> with WallTimer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed * 1e3

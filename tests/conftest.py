@@ -1,0 +1,72 @@
+"""Shared fixtures: tiny clusters that keep every test fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.worker import build_worker_group
+from repro.core import ClusterConfig, TrainConfig
+from repro.core.evaluation import accuracy_eval
+from repro.data import BatchLoader, build_dataset, selsync_partition
+from repro.nn.models import build_model
+from repro.optim import SGD
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def blobs_data():
+    """Small, easily separable classification task."""
+    return build_dataset(
+        "blobs", n_train=256, n_test=64, n_features=16, n_classes=4, rng=0
+    )
+
+
+def make_mlp_cluster(
+    train,
+    n_workers: int = 4,
+    batch_size: int = 16,
+    n_features: int = 16,
+    n_classes: int = 4,
+    hidden=(16,),
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+    partition_fn=selsync_partition,
+):
+    """Workers + cluster config over an MLP on the given dataset."""
+    part = partition_fn(len(train), n_workers, rng=seed + 1)
+    loaders = BatchLoader.for_workers(train, part, batch_size=batch_size, seed=seed + 2)
+    workers = build_worker_group(
+        n_workers,
+        lambda: build_model(
+            "mlp", in_features=n_features, n_classes=n_classes, hidden=hidden, rng=7
+        ),
+        lambda m: SGD(m, lr=lr, momentum=momentum),
+        loaders,
+    )
+    cluster = ClusterConfig(
+        n_workers=n_workers, seed=seed, comm_bytes=1e6, flops_per_sample=1e6
+    )
+    return workers, cluster
+
+
+@pytest.fixture
+def mlp_cluster(blobs_data):
+    train, _ = blobs_data
+    return make_mlp_cluster(train)
+
+
+@pytest.fixture
+def quick_cfg(blobs_data):
+    _, test = blobs_data
+    return TrainConfig(
+        n_steps=40,
+        eval_every=20,
+        eval_fn=accuracy_eval(test),
+        higher_is_better=True,
+    )

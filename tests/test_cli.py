@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "resnet_cifar10"
+        assert args.method == "selsync"
+        assert args.delta == 0.3
+
+
+class TestListing:
+    def test_workloads_listed(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("resnet_cifar10", "vgg_cifar100", "alexnet_imagenet",
+                     "transformer_wikitext"):
+            assert name in out
+
+    def test_methods_listed(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bsp", "selsync", "fedavg", "ssp", "localsgd", "easgd"):
+            assert name in out
+
+
+class TestRun:
+    ARGS = [
+        "--workload", "resnet_cifar10",
+        "--n-workers", "2",
+        "--steps", "12",
+        "--eval-every", "6",
+        "--data-scale", "0.1",
+        "--batch-size", "8",
+    ]
+
+    def test_run_selsync(self, capsys):
+        assert main(["run", *self.ARGS, "--method", "selsync", "--delta", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "lssr" in out and "sim_time_s" in out
+
+    def test_run_saves_log(self, tmp_path, capsys):
+        log_path = tmp_path / "run.jsonl"
+        assert main(
+            ["run", *self.ARGS, "--method", "bsp", "--save-log", str(log_path)]
+        ) == 0
+        from repro.utils.serialization import load_runlog
+
+        back = load_runlog(log_path)
+        assert back.n_steps == 12
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", *self.ARGS, "--methods", "bsp,localsgd"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bsp" in out and "localsgd" in out
+
+    def test_fig_quick_runner(self, capsys):
+        assert main(["fig", "fig1a"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet101" in out
+
+    def test_fig_unknown_name(self, capsys):
+        assert main(["fig", "fig99"]) == 2
+
+    def test_results_collation(self, tmp_path, capsys):
+        rdir = tmp_path / "results"
+        rdir.mkdir()
+        (rdir / "fig1.txt").write_text("table one")
+        (rdir / "fig2.txt").write_text("table two")
+        out_file = tmp_path / "RESULTS.md"
+        assert main(
+            ["results", "--results-dir", str(rdir), "--output", str(out_file)]
+        ) == 0
+        text = out_file.read_text()
+        assert "## fig1" in text and "table two" in text
+
+    def test_results_missing_dir(self, tmp_path):
+        assert main(
+            ["results", "--results-dir", str(tmp_path / "nope"),
+             "--output", str(tmp_path / "r.md")]
+        ) == 1
+
+    def test_table1_single_workload(self, capsys):
+        assert main(
+            [
+                "table1",
+                "--workloads", "resnet_cifar10",
+                "--n-workers", "2",
+                "--steps", "12",
+                "--eval-every", "6",
+                "--data-scale", "0.1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BSP" in out and "SelSync" in out

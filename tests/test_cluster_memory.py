@@ -1,0 +1,60 @@
+"""Tests for the memory-footprint accounting (Fig. 2b substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.memory import MemoryModel, measure_activation_bytes
+from repro.nn.models import build_model
+
+RNG = np.random.default_rng(0)
+
+
+class TestActivationMeasurement:
+    def test_grows_with_batch_size(self):
+        """Fig. 2b's mechanism: activation memory scales with batch."""
+        model = build_model("smallvgg", rng=0)
+        model.train()
+        model.forward(RNG.normal(size=(8, 3, 16, 16)))
+        small = measure_activation_bytes(model)
+        model.forward(RNG.normal(size=(32, 3, 16, 16)))
+        large = measure_activation_bytes(model)
+        assert large > 2 * small
+
+    def test_transformer_grows_with_batch(self):
+        model = build_model("tinytransformer", vocab_size=32, max_len=8, rng=0)
+        model.train()
+        model.forward(RNG.integers(0, 32, (2, 8)))
+        small = measure_activation_bytes(model)
+        model.forward(RNG.integers(0, 32, (16, 8)))
+        large = measure_activation_bytes(model)
+        assert large > small
+
+    def test_positive_after_forward(self):
+        model = build_model("mlp", rng=0)
+        model.forward(RNG.normal(size=(4, 32)))
+        assert measure_activation_bytes(model) > 0
+
+
+class TestMemoryModel:
+    def test_footprint_includes_param_buffers(self):
+        model = build_model("mlp", rng=0)
+        mm = MemoryModel(optimizer_slots=2)  # Adam
+        fp = mm.footprint_bytes(model, activation_bytes=0)
+        assert fp == 4 * model.nbytes  # params + grads + 2 slots
+
+    def test_measure_end_to_end(self):
+        model = build_model("smallresnet", rng=0)
+        mm = MemoryModel(optimizer_slots=1)
+        fp = mm.measure(model, RNG.normal(size=(4, 3, 16, 16)))
+        assert fp > 3 * model.nbytes
+
+    def test_negative_activations_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().footprint_bytes(build_model("mlp", rng=0), -1)
+
+    def test_monotone_in_batch(self):
+        """The OOM story of Fig. 2b: footprint strictly rises with b."""
+        model = build_model("smallalexnet", rng=0)
+        mm = MemoryModel()
+        sizes = [mm.measure(model, RNG.normal(size=(b, 3, 16, 16))) for b in (4, 16, 64)]
+        assert sizes[0] < sizes[1] < sizes[2]

@@ -1,0 +1,99 @@
+"""Tests for the in-process simulated collectives."""
+
+import numpy as np
+import pytest
+
+from repro.comm import NetworkModel, SimGroup
+from repro.comm.topology import PSTopology, build_topology
+
+
+class TestAllreduceMean:
+    def test_exact_mean(self):
+        group = SimGroup(3)
+        vecs = [np.full(4, float(i)) for i in range(3)]
+        mean, t = group.allreduce_mean(vecs)
+        assert np.allclose(mean, 1.0)
+        assert t > 0.0
+
+    def test_nbytes_override_controls_time(self):
+        group = SimGroup(4)
+        v = [np.zeros(8) for _ in range(4)]
+        _, t_small = group.allreduce_mean(v, nbytes=1e3)
+        _, t_big = group.allreduce_mean(v, nbytes=1e9)
+        assert t_big > t_small
+
+    def test_shape_mismatch_raises(self):
+        group = SimGroup(2)
+        with pytest.raises(ValueError):
+            group.allreduce_mean([np.zeros(3), np.zeros(4)])
+
+    def test_wrong_count_raises(self):
+        group = SimGroup(3)
+        with pytest.raises(ValueError):
+            group.allreduce_mean([np.zeros(2)] * 2)
+
+    def test_counters(self):
+        group = SimGroup(2)
+        group.allreduce_mean([np.zeros(4), np.zeros(4)], nbytes=100)
+        assert group.n_syncs == 1
+        assert group.bytes_synced == 200
+
+
+class TestChargeSync:
+    def test_matches_topology_formula(self):
+        net = NetworkModel()
+        group = SimGroup(4, net=net, topology="ps")
+        t = group.charge_sync(1e6)
+        assert t == pytest.approx(PSTopology().sync_time(1e6, 4, net))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimGroup(2).charge_sync(-1)
+
+
+class TestAllgatherFlags:
+    def test_returns_bits(self):
+        group = SimGroup(4)
+        flags, t = group.allgather_flags([0, 1, 0, 1])
+        assert np.array_equal(flags, [0, 1, 0, 1])
+        assert t > 0.0
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            SimGroup(2).allgather_flags([0, 2])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            SimGroup(3).allgather_flags([0, 1])
+
+    def test_flag_time_much_cheaper_than_sync(self):
+        group = SimGroup(16)
+        _, t_flags = group.allgather_flags([0] * 16)
+        t_sync = group.charge_sync(170e6)
+        assert t_flags < 0.05 * t_sync
+
+
+class TestBroadcast:
+    def test_copies_are_independent(self):
+        group = SimGroup(3)
+        src = np.arange(4.0)
+        copies, t = group.broadcast(src)
+        copies[0][0] = 99.0
+        assert src[0] == 0.0
+        assert copies[1][0] == 0.0
+        assert t > 0.0
+
+
+class TestTopologyRegistry:
+    @pytest.mark.parametrize("name", ["ps", "ring", "tree"])
+    def test_buildable(self, name):
+        topo = build_topology(name)
+        assert topo.sync_time(1e6, 4, NetworkModel()) > 0.0
+
+    def test_group_accepts_instance(self):
+        group = SimGroup(2, topology=PSTopology())
+        assert group.topology.name == "ps"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimGroup(0)

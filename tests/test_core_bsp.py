@@ -1,0 +1,78 @@
+"""Tests for the BSP trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSPTrainer, TrainConfig
+from repro.core.compression import TopKCompressor
+from tests.conftest import make_mlp_cluster
+
+
+class TestBSP:
+    def test_every_step_synced(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = BSPTrainer(workers, cluster).run(quick_cfg)
+        assert res.lssr == 0.0
+        assert all(r.synced for r in res.log.iterations)
+
+    def test_replicas_stay_identical(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        BSPTrainer(workers, cluster).run(quick_cfg)
+        p0 = workers[0].get_params()
+        for w in workers[1:]:
+            assert np.allclose(p0, w.get_params())
+
+    def test_comm_time_charged_every_step(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = BSPTrainer(workers, cluster).run(quick_cfg)
+        assert all(r.comm_time > 0 for r in res.log.iterations)
+
+    def test_learns_blobs(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = BSPTrainer(workers, cluster).run(quick_cfg)
+        assert res.final_metric > 0.8
+
+    def test_worker_count_mismatch_rejected(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        with pytest.raises(ValueError):
+            BSPTrainer(workers[:-1], cluster)
+
+    def test_loss_decreases(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = BSPTrainer(workers, cluster).run(quick_cfg)
+        losses = res.log.losses()
+        assert losses[-5:].mean() < losses[:5].mean()
+
+
+class TestBSPWithCompression:
+    def test_compressed_payload_smaller(self, blobs_data, quick_cfg):
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        trainer = BSPTrainer(
+            workers, cluster, compressor=TopKCompressor(ratio=0.01)
+        )
+        res = trainer.run(quick_cfg)
+        # Compressed sync must be cheaper than the dense comm_bytes round.
+        dense_workers, dense_cluster = make_mlp_cluster(train)
+        dense = BSPTrainer(dense_workers, dense_cluster).run(quick_cfg)
+        assert res.log.total_comm_time < dense.log.total_comm_time
+
+    def test_compressed_training_still_learns(self, blobs_data, quick_cfg):
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        trainer = BSPTrainer(
+            workers, cluster, compressor=TopKCompressor(ratio=0.1)
+        )
+        res = trainer.run(quick_cfg)
+        assert res.final_metric > 0.6
+
+    def test_per_worker_compressor_state_is_isolated(self, blobs_data, quick_cfg):
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        comp = TopKCompressor(ratio=0.05)
+        trainer = BSPTrainer(workers, cluster, compressor=comp)
+        trainer.run(quick_cfg)
+        residuals = [c._residual for c in trainer._compressors]
+        assert len(residuals) == len(workers)
+        # Clones must not share the residual buffer.
+        assert residuals[0] is not residuals[1]

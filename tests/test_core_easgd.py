@@ -1,0 +1,79 @@
+"""Tests for the EASGD trainer (paper citation [37])."""
+
+import numpy as np
+import pytest
+
+from repro.core import EASGDTrainer, TrainConfig
+from tests.conftest import make_mlp_cluster
+
+
+class TestElasticUpdate:
+    def test_center_moves_toward_worker_mean(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        trainer = EASGDTrainer(workers, cluster, rho=0.2, tau=1)
+        center_before = trainer.center.copy()
+        trainer.step(0)
+        worker_mean = np.mean([w.get_params() for w in workers], axis=0)
+        d_before = np.linalg.norm(center_before - worker_mean)
+        d_after = np.linalg.norm(trainer.center - worker_mean)
+        assert d_after < d_before + 1e-12
+
+    def test_workers_pulled_toward_center(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        trainer = EASGDTrainer(workers, cluster, rho=0.2, tau=1)
+        # Displace one worker far away; one elastic round must shrink the gap.
+        far = workers[0].get_params() + 10.0
+        workers[0].set_params(far)
+        gap_before = np.linalg.norm(far - trainer.center)
+        trainer.step(0)
+        gap_after = np.linalg.norm(workers[0].get_params() - trainer.center)
+        assert gap_after < gap_before
+
+    def test_tau_controls_sync_frequency(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        trainer = EASGDTrainer(workers, cluster, rho=0.1, tau=4)
+        res = trainer.run(quick_cfg)
+        assert res.log.n_synced == quick_cfg.n_steps // 4
+        assert res.lssr == pytest.approx(1 - 1 / 4, abs=0.05)
+
+    def test_stability_guard(self, mlp_cluster):
+        workers, cluster = mlp_cluster  # 4 workers
+        with pytest.raises(ValueError, match="unstable"):
+            EASGDTrainer(workers, cluster, rho=0.5)  # N*rho = 2
+
+    def test_validation(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        with pytest.raises(ValueError):
+            EASGDTrainer(workers, cluster, rho=0.0)
+        with pytest.raises(ValueError):
+            EASGDTrainer(workers, cluster, rho=0.1, tau=0)
+
+
+class TestConvergence:
+    def test_learns_blobs(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = EASGDTrainer(workers, cluster, rho=0.2, tau=2).run(quick_cfg)
+        assert res.final_metric > 0.7
+
+    def test_deploy_model_is_center(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        trainer = EASGDTrainer(workers, cluster, rho=0.2, tau=2)
+        trainer.run(quick_cfg)
+        assert np.array_equal(trainer.mean_params(), trainer.center)
+
+    def test_elastic_bound_tighter_than_localsgd(self, blobs_data, quick_cfg):
+        """EASGD's elastic pull keeps replicas closer together than pure
+        local SGD over the same steps."""
+        from repro.core import LocalSGDTrainer
+
+        train, _ = blobs_data
+
+        def spread(make):
+            workers, cluster = make_mlp_cluster(train)
+            make(workers, cluster).run(quick_cfg)
+            p = np.stack([w.get_params() for w in workers])
+            return float(np.linalg.norm(p - p.mean(axis=0), axis=1).mean())
+
+        easgd = spread(lambda w, c: EASGDTrainer(w, c, rho=0.2, tau=2))
+        local = spread(lambda w, c: LocalSGDTrainer(w, c))
+        assert easgd < local

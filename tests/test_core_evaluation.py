@@ -1,0 +1,102 @@
+"""Tests for evaluation callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import accuracy_eval, loss_eval, perplexity_eval
+from repro.data import ArrayDataset, SequenceDataset
+from repro.nn.models import build_model
+
+
+class FixedLogitModel:
+    """Stub model that returns canned logits per input row."""
+
+    def __init__(self, logits):
+        self.logits = logits
+        self.training = False
+
+    def forward(self, x):
+        idx = x[:, 0].astype(int)
+        return self.logits[idx]
+
+
+class TestAccuracyEval:
+    def test_top1_exact(self):
+        logits = np.array([
+            [10.0, 0.0, 0.0],  # predicts 0
+            [0.0, 10.0, 0.0],  # predicts 1
+            [0.0, 10.0, 0.0],  # predicts 1 (wrong, label 2)
+        ])
+        ds = ArrayDataset(np.arange(3.0).reshape(3, 1), np.array([0, 1, 2]))
+        fn = accuracy_eval(ds)
+        assert fn(FixedLogitModel(logits)) == pytest.approx(2 / 3)
+
+    def test_top5_counts_near_misses(self):
+        logits = np.zeros((2, 10))
+        logits[0, :5] = [5, 4, 3, 2, 1]   # label 4 in top-5
+        logits[1, 5:] = [5, 4, 3, 2, 1]   # label 0 not in top-5
+        ds = ArrayDataset(np.arange(2.0).reshape(2, 1), np.array([4, 0]))
+        assert accuracy_eval(ds, top_k=5)(FixedLogitModel(logits)) == 0.5
+
+    def test_batched_equals_unbatched(self):
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(50, 8)), rng.integers(0, 3, 50))
+        model = build_model("mlp", in_features=8, n_classes=3, rng=0)
+        a = accuracy_eval(ds, batch_size=7)(model)
+        b = accuracy_eval(ds, batch_size=50)(model)
+        assert a == b
+
+    def test_top_k_validation(self):
+        ds = ArrayDataset(np.zeros((2, 1)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy_eval(ds, top_k=0)
+
+
+class TestPerplexityEval:
+    def test_uniform_model_gives_vocab_size(self):
+        """A model with uniform logits has perplexity = |V|."""
+
+        class Uniform:
+            training = False
+
+            def forward(self, x):
+                return np.zeros((*x.shape, 16))
+
+        ds = SequenceDataset(np.random.default_rng(0).integers(0, 16, 200), bptt=8)
+        ppl = perplexity_eval(ds)(Uniform())
+        assert ppl == pytest.approx(16.0)
+
+    def test_trained_lm_beats_uniform(self):
+        from repro.data import build_dataset
+        from repro.nn.losses import CrossEntropyLoss
+        from repro.optim import SGD
+
+        train, test = build_dataset(
+            "wikitext_like", n_train_tokens=5000, n_test_tokens=1000,
+            vocab_size=16, bptt=8, rng=0,
+        )
+        m = build_model(
+            "tinytransformer", vocab_size=16, dim=16, max_len=8,
+            n_layers=1, dropout=0.0, rng=0,
+        )
+        opt = SGD(m, lr=0.5)
+        rng = np.random.default_rng(1)
+        for _ in range(80):
+            idx = rng.integers(0, len(train), 16)
+            x, y = train.get_batch(idx)
+            m.zero_grad()
+            loss = CrossEntropyLoss()
+            loss.forward(m.forward(x), y)
+            m.backward(loss.backward())
+            opt.step()
+        m.eval()
+        assert perplexity_eval(test)(m) < 16.0
+
+
+class TestLossEval:
+    def test_matches_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(20, 8)), rng.integers(0, 3, 20))
+        model = build_model("mlp", in_features=8, n_classes=3, rng=0)
+        val = loss_eval(ds)(model)
+        assert np.isfinite(val) and val > 0

@@ -1,0 +1,82 @@
+"""Tests for the FedAvg trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedAvgTrainer, TrainConfig
+from tests.conftest import make_mlp_cluster
+
+
+class TestSyncSchedule:
+    def test_sync_interval_from_e_factor(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        spe = workers[0].loader.steps_per_epoch
+        t = FedAvgTrainer(workers, cluster, e_factor=0.25)
+        assert t.sync_interval == max(1, round(0.25 * spe))
+
+    def test_lssr_matches_interval(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        t = FedAvgTrainer(workers, cluster, e_factor=0.5)
+        res = t.run(quick_cfg)
+        expected_syncs = quick_cfg.n_steps // t.sync_interval
+        assert res.log.n_synced == expected_syncs
+
+    def test_high_e_means_high_lssr(self, blobs_data, quick_cfg):
+        """Fewer syncs per epoch ⇒ higher LSSR (paper Table I trend)."""
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        frequent = FedAvgTrainer(workers, cluster, e_factor=0.25).run(quick_cfg)
+        workers, cluster = make_mlp_cluster(train)
+        rare = FedAvgTrainer(workers, cluster, e_factor=1.0).run(quick_cfg)
+        assert rare.lssr > frequent.lssr
+
+
+class TestParticipation:
+    def test_participant_count(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        assert FedAvgTrainer(workers, cluster, c_fraction=0.5).n_participants() == 2
+        assert FedAvgTrainer(workers, cluster, c_fraction=1.0).n_participants() == 4
+        assert FedAvgTrainer(workers, cluster, c_fraction=0.1).n_participants() == 1
+
+    def test_full_participation_resyncs_all(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        t = FedAvgTrainer(workers, cluster, c_fraction=1.0, e_factor=0.25)
+        for i in range(t.sync_interval):
+            t.step(i)
+        p0 = workers[0].get_params()
+        for w in workers[1:]:
+            assert np.allclose(p0, w.get_params())
+
+    def test_partial_participation_still_broadcasts(self, mlp_cluster):
+        """Even with C<1, all workers pull the new global model."""
+        workers, cluster = mlp_cluster
+        t = FedAvgTrainer(workers, cluster, c_fraction=0.5, e_factor=0.25)
+        for i in range(t.sync_interval):
+            t.step(i)
+        p0 = workers[0].get_params()
+        for w in workers[1:]:
+            assert np.allclose(p0, w.get_params())
+
+    def test_validation(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        with pytest.raises(ValueError):
+            FedAvgTrainer(workers, cluster, c_fraction=0.0)
+        with pytest.raises(ValueError):
+            FedAvgTrainer(workers, cluster, e_factor=1.5)
+
+
+class TestConvergence:
+    def test_learns_blobs(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = FedAvgTrainer(workers, cluster, c_fraction=1.0, e_factor=0.25).run(quick_cfg)
+        assert res.final_metric > 0.7
+
+    def test_cheaper_than_bsp(self, blobs_data, quick_cfg):
+        from repro.core import BSPTrainer
+
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        bsp = BSPTrainer(workers, cluster).run(quick_cfg)
+        workers, cluster = make_mlp_cluster(train)
+        fed = FedAvgTrainer(workers, cluster, e_factor=0.5).run(quick_cfg)
+        assert fed.log.total_comm_time < bsp.log.total_comm_time

@@ -1,0 +1,87 @@
+"""Tests for the Hessian power-iteration tooling (Fig. 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hessian import hessian_top_eigenvalue, hessian_vector_product
+from repro.nn.layers import Linear
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_model
+
+RNG = np.random.default_rng(0)
+
+
+class TestHVP:
+    def test_restores_parameters(self):
+        m = build_model("mlp", in_features=8, n_classes=3, rng=0)
+        x = RNG.normal(size=(16, 8))
+        y = RNG.integers(0, 3, 16)
+        before = m.get_flat_params()
+        hessian_vector_product(m, x, y, RNG.normal(size=before.size))
+        assert np.array_equal(before, m.get_flat_params())
+
+    def test_linear_softmax_hessian_is_psd_direction(self):
+        """Cross-entropy over a linear model is convex: v'Hv ≥ 0 for any v."""
+        m = Linear(6, 4, rng=0)
+        x = RNG.normal(size=(32, 6))
+        y = RNG.integers(0, 4, 32)
+        for seed in range(5):
+            v = np.random.default_rng(seed).normal(size=m.n_parameters)
+            hv = hessian_vector_product(m, x, y, v)
+            assert float(v @ hv) >= -1e-6
+
+    def test_hvp_linear_in_v(self):
+        m = Linear(5, 3, rng=0)
+        x = RNG.normal(size=(16, 5))
+        y = RNG.integers(0, 3, 16)
+        v = RNG.normal(size=m.n_parameters)
+        hv1 = hessian_vector_product(m, x, y, v)
+        hv2 = hessian_vector_product(m, x, y, 2 * v)
+        assert np.allclose(2 * hv1, hv2, rtol=1e-3, atol=1e-6)
+
+    def test_zero_direction_rejected(self):
+        m = Linear(5, 3, rng=0)
+        with pytest.raises(ValueError):
+            hessian_vector_product(
+                m, RNG.normal(size=(4, 5)), np.zeros(4, dtype=int),
+                np.zeros(m.n_parameters),
+            )
+
+
+class TestTopEigenvalue:
+    def test_convex_model_positive_eigenvalue(self):
+        m = Linear(6, 4, rng=0)
+        x = RNG.normal(size=(64, 6))
+        y = RNG.integers(0, 4, 64)
+        lam, v = hessian_top_eigenvalue(m, x, y, n_iters=15, rng=0)
+        assert lam > 0.0
+        assert np.linalg.norm(v) == pytest.approx(1.0, rel=1e-6)
+
+    def test_eigenpair_satisfies_rayleigh(self):
+        """Returned λ must match v'Hv at convergence."""
+        m = Linear(5, 3, rng=0)
+        x = RNG.normal(size=(64, 5))
+        y = RNG.integers(0, 3, 64)
+        lam, v = hessian_top_eigenvalue(m, x, y, n_iters=30, rng=1)
+        hv = hessian_vector_product(m, x, y, v)
+        assert float(v @ hv) == pytest.approx(lam, rel=0.05)
+
+    def test_deterministic_given_rng(self):
+        m = Linear(5, 3, rng=0)
+        x = RNG.normal(size=(32, 5))
+        y = RNG.integers(0, 3, 32)
+        lam1, _ = hessian_top_eigenvalue(m, x, y, rng=3)
+        lam2, _ = hessian_top_eigenvalue(m, x, y, rng=3)
+        assert lam1 == pytest.approx(lam2)
+
+    def test_validation(self):
+        m = Linear(5, 3, rng=0)
+        with pytest.raises(ValueError):
+            hessian_top_eigenvalue(m, np.zeros((2, 5)), np.zeros(2, dtype=int), n_iters=0)
+
+    def test_works_on_nonconvex_model(self):
+        m = build_model("mlp", in_features=8, n_classes=3, hidden=(8,), rng=0)
+        x = RNG.normal(size=(32, 8))
+        y = RNG.integers(0, 3, 32)
+        lam, _ = hessian_top_eigenvalue(m, x, y, n_iters=10, rng=0)
+        assert np.isfinite(lam)

@@ -1,0 +1,32 @@
+"""Tests for pure local-SGD."""
+
+import numpy as np
+
+from repro.core import LocalSGDTrainer
+
+
+class TestLocalSGD:
+    def test_lssr_is_one(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = LocalSGDTrainer(workers, cluster).run(quick_cfg)
+        assert res.lssr == 1.0
+
+    def test_no_communication_charged(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = LocalSGDTrainer(workers, cluster).run(quick_cfg)
+        assert res.log.total_comm_time == 0.0
+
+    def test_replicas_diverge(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        LocalSGDTrainer(workers, cluster).run(quick_cfg)
+        assert not np.allclose(workers[0].get_params(), workers[1].get_params())
+
+    def test_fastest_wall_clock(self, mlp_cluster, quick_cfg):
+        """No sync cost ⇒ local SGD is the simulated-time floor."""
+        from repro.core import BSPTrainer
+        from tests.conftest import make_mlp_cluster
+
+        workers, cluster = mlp_cluster
+        local = LocalSGDTrainer(workers, cluster).run(quick_cfg)
+        assert local.sim_time < quick_cfg.n_steps * 1.0  # sanity
+        assert local.log.total_comm_time == 0.0

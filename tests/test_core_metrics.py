@@ -1,0 +1,104 @@
+"""Tests for throughput/speedup metrics."""
+
+import numpy as np
+import pytest
+
+from repro.comm.network import NetworkModel
+from repro.core.metrics import (
+    convergence_difference,
+    relative_throughput,
+    speedup_vs_bsp,
+    time_to_metric,
+)
+from repro.core.trainer import TrainResult
+from repro.utils.runlog import EvalRecord, RunLog
+
+
+def result(best, sim_time):
+    return TrainResult(
+        log=RunLog(), final_metric=best, best_metric=best,
+        steps=10, sim_time=sim_time, lssr=0.5,
+    )
+
+
+class TestRelativeThroughput:
+    def test_single_worker_is_one(self):
+        assert relative_throughput(1e9, 32, 1, 100e6) == pytest.approx(1.0)
+
+    def test_sublinear_scaling(self):
+        """Fig. 1a: throughput never scales linearly under a PS."""
+        t16 = relative_throughput(2.5e9, 32, 16, 170e6)
+        assert t16 < 16.0
+
+    def test_bigger_models_scale_worse(self):
+        small = relative_throughput(2.5e9, 32, 16, 170e6)
+        big = relative_throughput(2.5e9, 32, 16, 507e6)
+        assert big < small
+
+    def test_allreduce_beats_ps(self):
+        ps = relative_throughput(2.5e9, 32, 16, 507e6, topology="ps")
+        ring = relative_throughput(2.5e9, 32, 16, 507e6, topology="ring")
+        assert ring > ps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_throughput(1e9, 32, 0, 1e6)
+
+
+class TestTimeToMetric:
+    def _log(self):
+        log = RunLog()
+        for step, t, m in [(10, 1.0, 0.4), (20, 2.0, 0.7), (30, 3.0, 0.9)]:
+            log.record_eval(EvalRecord(step=step, epoch=0.0, sim_time=t, metric=m))
+        return log
+
+    def test_first_crossing(self):
+        assert time_to_metric(self._log(), 0.6) == 2.0
+
+    def test_never_reached(self):
+        assert time_to_metric(self._log(), 0.95) is None
+
+    def test_lower_is_better(self):
+        assert time_to_metric(self._log(), 0.7, higher_is_better=False) == 1.0
+
+
+class TestSpeedup:
+    def test_defined_when_quality_matched(self):
+        bsp = result(0.90, 100.0)
+        fast = result(0.91, 25.0)
+        assert speedup_vs_bsp(bsp, fast) == pytest.approx(4.0)
+
+    def test_none_when_quality_missed(self):
+        """Table I leaves speedup blank for non-converged methods."""
+        bsp = result(0.90, 100.0)
+        bad = result(0.70, 10.0)
+        assert speedup_vs_bsp(bsp, bad) is None
+
+    def test_tolerance(self):
+        bsp = result(0.90, 100.0)
+        close = result(0.896, 50.0)
+        assert speedup_vs_bsp(bsp, close) is None
+        assert speedup_vs_bsp(bsp, close, tolerance=0.01) == pytest.approx(2.0)
+
+    def test_lower_is_better_metrics(self):
+        """Perplexity: smaller is better."""
+        bsp = result(90.0, 100.0)
+        good = result(89.5, 50.0)
+        assert speedup_vs_bsp(bsp, good, higher_is_better=False) == pytest.approx(2.0)
+        bad = result(95.0, 50.0)
+        assert speedup_vs_bsp(bsp, bad, higher_is_better=False) is None
+
+    def test_none_without_metrics(self):
+        assert speedup_vs_bsp(result(None, 1.0), result(0.5, 1.0)) is None
+
+
+class TestConvergenceDifference:
+    def test_sign_convention_accuracy(self):
+        assert convergence_difference(result(0.9, 1), result(0.92, 1)) == pytest.approx(0.02)
+
+    def test_sign_convention_perplexity(self):
+        """Positive always means better than BSP, even for lower-is-better."""
+        d = convergence_difference(
+            result(90.0, 1), result(89.0, 1), higher_is_better=False
+        )
+        assert d == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for the event-driven SSP trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import SSPTrainer, TrainConfig
+from repro.core.config import ClusterConfig
+from repro.core.evaluation import accuracy_eval
+from repro.data import BatchLoader, build_dataset, default_partition
+from repro.cluster.worker import build_worker_group
+from repro.nn.models import build_model
+from repro.optim import SGD
+from tests.conftest import make_mlp_cluster
+
+
+def make_hetero_cluster(train, speeds, seed=0):
+    n = len(speeds)
+    part = default_partition(len(train), n, rng=seed + 1)
+    loaders = BatchLoader.for_workers(train, part, batch_size=16, seed=seed + 2)
+    workers = build_worker_group(
+        n,
+        lambda: build_model("mlp", in_features=16, n_classes=4, rng=7),
+        lambda m: SGD(m, lr=0.05),
+        loaders,
+    )
+    cluster = ClusterConfig(
+        n_workers=n, seed=seed, comm_bytes=1e6, flops_per_sample=1e6,
+        speeds=list(speeds), jitter_sigma=0.0,
+    )
+    return workers, cluster
+
+
+class TestStalenessBound:
+    def test_fast_worker_bounded_by_slow(self, blobs_data):
+        """With one worker 4× slower and s=3, the fast workers' recorded
+        staleness must never exceed s+1."""
+        train, test = blobs_data
+        workers, cluster = make_hetero_cluster(train, speeds=[1.0, 1.0, 1.0, 0.25])
+        trainer = SSPTrainer(workers, cluster, staleness=3)
+        cfg = TrainConfig(n_steps=30, eval_every=10, eval_fn=accuracy_eval(test))
+        res = trainer.run(cfg)
+        staleness = [r.extra["staleness"] for r in res.log.iterations]
+        assert max(staleness) <= 4  # bound s=3 plus the in-flight step
+
+    def test_zero_staleness_forces_lockstep(self, blobs_data):
+        train, test = blobs_data
+        workers, cluster = make_hetero_cluster(train, speeds=[1.0, 0.5])
+        trainer = SSPTrainer(workers, cluster, staleness=0)
+        cfg = TrainConfig(n_steps=20, eval_every=10, eval_fn=accuracy_eval(test))
+        res = trainer.run(cfg)
+        staleness = [r.extra["staleness"] for r in res.log.iterations]
+        assert max(staleness) <= 1
+
+    def test_negative_staleness_rejected(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        with pytest.raises(ValueError):
+            SSPTrainer(workers, cluster, staleness=-1)
+
+
+class TestAsyncBehaviour:
+    def test_all_workers_complete_their_steps(self, blobs_data, quick_cfg):
+        train, _ = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        trainer = SSPTrainer(workers, cluster, staleness=10)
+        res = trainer.run(quick_cfg)
+        assert res.steps == quick_cfg.n_steps  # per-worker iterations
+        assert res.log.n_steps == quick_cfg.n_steps * len(workers)
+
+    def test_lssr_not_applicable(self, mlp_cluster, quick_cfg):
+        """Paper: LSSR scores do not apply to SSP."""
+        workers, cluster = mlp_cluster
+        res = SSPTrainer(workers, cluster, staleness=10).run(quick_cfg)
+        assert res.lssr is None
+
+    def test_sim_time_advances_monotonically(self, mlp_cluster, quick_cfg):
+        workers, cluster = mlp_cluster
+        res = SSPTrainer(workers, cluster, staleness=10).run(quick_cfg)
+        assert all(r.sim_time >= 0 for r in res.log.iterations)
+        assert res.sim_time > 0
+
+    def test_server_holds_trained_model(self, blobs_data, quick_cfg):
+        train, test = blobs_data
+        workers, cluster = make_mlp_cluster(train)
+        trainer = SSPTrainer(workers, cluster, staleness=10)
+        init = trainer.server.pull()
+        res = trainer.run(quick_cfg)
+        assert not np.allclose(init, trainer.server.pull())
+        assert res.final_metric > 0.6
+
+    def test_async_comm_cheaper_than_bsp_round(self, mlp_cluster):
+        """A single worker's push/pull never exceeds a full PS barrier, and
+        is strictly cheaper once the PS ingress saturates (large N)."""
+        workers, cluster = mlp_cluster
+        trainer = SSPTrainer(workers, cluster, staleness=10)
+        barrier = trainer.group.charge_sync(trainer.comm_bytes)
+        assert trainer._push_pull_time() <= barrier
+        from repro.comm.costmodel import ps_sync_time
+
+        big_barrier = ps_sync_time(trainer.comm_bytes, 16, cluster.net)
+        assert trainer._push_pull_time() < big_barrier
+
+
+class TestHeterogeneity:
+    def test_fast_workers_do_more_steps_early(self, blobs_data):
+        """Before the staleness bound kicks in, fast workers complete more
+        iterations per unit simulated time."""
+        train, test = blobs_data
+        workers, cluster = make_hetero_cluster(train, speeds=[1.0, 0.2])
+        trainer = SSPTrainer(workers, cluster, staleness=100)
+        cfg = TrainConfig(n_steps=20, eval_every=20, eval_fn=accuracy_eval(test))
+        res = trainer.run(cfg)
+        by_worker = {}
+        for r in res.log.iterations:
+            by_worker.setdefault(int(r.extra["worker"]), 0)
+            by_worker[int(r.extra["worker"])] += 1
+        assert by_worker[0] == by_worker[1] == 20  # both finish all steps
+        # The fast worker's 20th completion happens earlier: find last events.
+        last_fast = max(
+            i for i, r in enumerate(res.log.iterations) if r.extra["worker"] == 0
+        )
+        last_slow = max(
+            i for i, r in enumerate(res.log.iterations) if r.extra["worker"] == 1
+        )
+        assert last_fast < last_slow

@@ -1,0 +1,102 @@
+"""Tests for the DistributedTrainer base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSPTrainer, TrainConfig
+from repro.core.config import ClusterConfig
+from repro.optim import MultiStepDecay
+from tests.conftest import make_mlp_cluster
+
+
+class TestDeployModel:
+    def test_deploy_is_worker_average(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        trainer = BSPTrainer(workers, cluster)
+        # Displace replicas so the average is distinct from any one replica.
+        for i, w in enumerate(workers):
+            w.set_params(np.full_like(w.get_params(), float(i)))
+        model, saved = trainer.deploy_model()
+        assert np.allclose(model.get_flat_params(), 1.5)  # mean of 0..3
+        trainer.restore_model(saved)
+        assert np.allclose(workers[0].get_params(), 0.0)
+
+    def test_evaluate_restores_state_and_mode(self, mlp_cluster, blobs_data):
+        from repro.core.evaluation import accuracy_eval
+
+        _, test = blobs_data
+        workers, cluster = mlp_cluster
+        trainer = BSPTrainer(workers, cluster)
+        before = workers[0].get_params()
+        cfg = TrainConfig(n_steps=1, eval_every=1, eval_fn=accuracy_eval(test))
+        trainer.evaluate(cfg)
+        assert np.array_equal(before, workers[0].get_params())
+        assert workers[0].model.training  # back in train mode
+
+
+class TestEarlyStopping:
+    def _run_with_metrics(self, metrics, patience, higher=True):
+        """Drive the loop with a scripted eval function."""
+        workers, cluster = make_mlp_cluster(self._train)
+        trainer = BSPTrainer(workers, cluster)
+        it = iter(metrics)
+        cfg = TrainConfig(
+            n_steps=10 * len(metrics),
+            eval_every=10,
+            eval_fn=lambda model: next(it),
+            higher_is_better=higher,
+            patience=patience,
+        )
+        return trainer.run(cfg)
+
+    @pytest.fixture(autouse=True)
+    def _data(self, blobs_data):
+        self._train, _ = blobs_data
+
+    def test_stops_after_patience_exhausted(self):
+        res = self._run_with_metrics([0.5, 0.6, 0.6, 0.6, 0.9, 0.9], patience=2)
+        # Improvement at evals 1,2; stale at 3,4 → stop before seeing 0.9.
+        assert res.steps == 40
+        assert res.best_metric == 0.6
+
+    def test_no_patience_runs_to_cap(self):
+        res = self._run_with_metrics([0.5, 0.5, 0.5], patience=None)
+        assert res.steps == 30
+
+    def test_lower_is_better_direction(self):
+        res = self._run_with_metrics([90.0, 80.0, 85.0, 86.0], patience=2, higher=False)
+        assert res.best_metric == 80.0
+        assert res.steps == 40  # stopped after two non-improving evals
+
+
+class TestTimeComposition:
+    def test_effective_sync_time_clamps_at_zero(self, blobs_data):
+        train, _ = blobs_data
+        workers, _ = make_mlp_cluster(train)
+        cluster = ClusterConfig(
+            n_workers=4, comm_bytes=1.0, flops_per_sample=1e9, overlap_fraction=1.0
+        )
+        trainer = BSPTrainer(workers, cluster)
+        assert trainer.effective_sync_time(t_s=1e-9, t_c=10.0) == 0.0
+
+    def test_lr_follows_schedule(self, mlp_cluster):
+        workers, cluster = mlp_cluster
+        trainer = BSPTrainer(
+            workers, cluster, schedule=MultiStepDecay(1.0, [5], gamma=0.1)
+        )
+        assert trainer.lr(0) == 1.0
+        assert trainer.lr(5) == pytest.approx(0.1)
+
+    def test_comm_bytes_defaults_to_model_size(self, blobs_data):
+        train, _ = blobs_data
+        workers, _ = make_mlp_cluster(train)
+        cluster = ClusterConfig(n_workers=4, comm_bytes=None, flops_per_sample=1e6)
+        trainer = BSPTrainer(workers, cluster)
+        assert trainer.comm_bytes == workers[0].model.nbytes
+
+    def test_flops_defaults_to_model_estimate(self, blobs_data):
+        train, _ = blobs_data
+        workers, _ = make_mlp_cluster(train)
+        cluster = ClusterConfig(n_workers=4, comm_bytes=1e6, flops_per_sample=None)
+        trainer = BSPTrainer(workers, cluster)
+        assert trainer.flops_per_sample == workers[0].model.flops_per_sample

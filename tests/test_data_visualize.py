@@ -1,0 +1,50 @@
+"""Tests for partition visualization (Fig. 7 rendering)."""
+
+import numpy as np
+
+from repro.data.partition import (
+    default_partition,
+    label_skew_partition,
+    selsync_partition,
+)
+from repro.data.visualize import label_histogram, render_partition
+
+
+class TestRenderPartition:
+    def test_defdp_one_chunk_per_worker(self):
+        out = render_partition(default_partition(40, 4, rng=0))
+        assert "worker0: DP0" in out
+        assert "worker3: DP3" in out
+        assert "->" not in out
+
+    def test_seldp_rotation(self):
+        out = render_partition(selsync_partition(40, 4, rng=0))
+        assert "worker0: DP0 -> DP1 -> DP2 -> DP3" in out
+        assert "worker2: DP2 -> DP3 -> DP0 -> DP1" in out
+
+    def test_label_skew_has_no_chunks(self):
+        labels = np.repeat(np.arange(4), 10)
+        part = label_skew_partition(labels, 4, labels_per_worker=1, rng=0)
+        out = render_partition(part)
+        assert "no chunk structure" in out
+
+
+class TestLabelHistogram:
+    def test_skewed_rows_are_concentrated(self):
+        labels = np.repeat(np.arange(4), 25)
+        part = label_skew_partition(labels, 4, labels_per_worker=1, rng=0)
+        out = label_histogram(labels, part)
+        lines = [l for l in out.splitlines()[2:]]
+        assert len(lines) == 4
+        for line in lines:
+            counts = [int(c) for c in line.split("|")[1].split()]
+            assert sum(1 for c in counts if c > 0) == 1  # one label per worker
+
+    def test_iid_rows_are_spread(self):
+        labels = np.repeat(np.arange(4), 25)
+        part = selsync_partition(100, 4, rng=0)
+        out = label_histogram(labels, part)
+        lines = out.splitlines()[2:]
+        for line in lines:
+            counts = [int(c) for c in line.split("|")[1].split()]
+            assert all(c > 0 for c in counts)  # every worker sees every label

@@ -1,0 +1,90 @@
+"""Cross-registry consistency checks for the experiments layer.
+
+These catch drift between the figure generators, the workload registry and
+the paper-profile constants — the kind of mismatch that silently produces a
+bench exercising the wrong configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import (
+    BENCH_DATASET_OVERRIDES,
+    PAPER_PROFILES,
+    WORKERS_PER_NODE,
+)
+from repro.experiments.runner import MethodSpec, _TRAINERS
+from repro.experiments.table1 import DEFAULT_METHODS, DEFAULT_WORKLOADS
+from repro.experiments.workloads import WORKLOADS, get_workload
+
+
+class TestPaperProfiles:
+    def test_four_model_families(self):
+        assert set(PAPER_PROFILES) == {
+            "resnet101", "vgg11", "alexnet", "transformer",
+        }
+
+    def test_profiles_positive(self):
+        for nbytes, flops, batch in PAPER_PROFILES.values():
+            assert nbytes > 0 and flops > 0 and batch > 0
+
+    def test_vgg_is_biggest_model(self):
+        """The 507 MB claim that drives Fig. 1a's worst curve."""
+        assert PAPER_PROFILES["vgg11"][0] == max(
+            p[0] for p in PAPER_PROFILES.values()
+        )
+
+    def test_paper_cluster_shapes(self):
+        """§IV-A: 8- and 16-worker clusters pack 2 and 4 GPUs per node."""
+        assert WORKERS_PER_NODE[8] == 2
+        assert WORKERS_PER_NODE[16] == 4
+
+
+class TestRegistryCoherence:
+    def test_table1_workloads_exist(self):
+        for name in DEFAULT_WORKLOADS:
+            assert name in WORKLOADS
+
+    def test_table1_methods_buildable(self):
+        for spec in DEFAULT_METHODS:
+            assert spec.kind in _TRAINERS
+
+    def test_table1_covers_paper_grid(self):
+        kinds = [m.kind for m in DEFAULT_METHODS]
+        assert kinds.count("bsp") == 1
+        assert kinds.count("fedavg") == 4
+        assert kinds.count("ssp") == 2
+        assert kinds.count("selsync") == 2
+
+    def test_bench_overrides_reference_real_workloads(self):
+        for name in BENCH_DATASET_OVERRIDES:
+            assert name in WORKLOADS
+
+    def test_workload_paper_constants_match_profiles(self):
+        """Workload specs and figure profiles must agree on testbed bytes."""
+        pairs = {
+            "resnet_cifar10": "resnet101",
+            "vgg_cifar100": "vgg11",
+            "alexnet_imagenet": "alexnet",
+            "transformer_wikitext": "transformer",
+        }
+        for wname, pname in pairs.items():
+            w = get_workload(wname)
+            assert w.paper_comm_bytes == PAPER_PROFILES[pname][0]
+            assert w.paper_flops_per_sample == PAPER_PROFILES[pname][1]
+
+
+class TestFigureDefaults:
+    def test_fig1a_covers_paper_cluster_sizes(self):
+        out = figures.fig1a_relative_throughput()
+        assert all(len(v) == 5 for v in out.values())
+
+    def test_fig12_default_configs_are_paper_alpha_beta(self):
+        import inspect
+
+        sig = inspect.signature(figures.fig12_noniid_injection)
+        configs = sig.parameters["configs"].default
+        assert [(a, b) for a, b, _ in configs] == [
+            (0.5, 0.5), (0.5, 0.5), (0.75, 0.75),
+        ]

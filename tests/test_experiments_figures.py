@@ -1,0 +1,115 @@
+"""Smoke + shape tests for the figure generators (fast scales).
+
+Each test asserts the *qualitative* property the corresponding paper figure
+claims, at a scale small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFig1a:
+    def test_all_model_series_present(self):
+        out = figures.fig1a_relative_throughput()
+        assert set(out) == {"resnet101", "vgg11", "alexnet", "transformer"}
+        assert all(len(v) == 5 for v in out.values())
+
+    def test_single_worker_baseline_is_one(self):
+        out = figures.fig1a_relative_throughput()
+        for series in out.values():
+            assert series[0] == pytest.approx(1.0)
+
+    def test_sublinear_at_16(self):
+        out = figures.fig1a_relative_throughput()
+        for series in out.values():
+            assert series[-1] < 16.0
+
+    def test_vgg_scales_worst(self):
+        """The 507 MB model pays the biggest communication bill."""
+        out = figures.fig1a_relative_throughput()
+        assert out["vgg11"][-1] == min(s[-1] for s in out.values())
+
+    def test_vgg_below_one_at_two_workers(self):
+        """Paper: VGG11 relative throughput < 1.0 at 2 workers."""
+        assert figures.fig1a_relative_throughput()["vgg11"][1] < 1.0
+
+    def test_throughput_grows_with_cluster(self):
+        out = figures.fig1a_relative_throughput(cluster_sizes=(2, 4, 8, 16))
+        for series in out.values():
+            assert series[-1] > series[0]
+
+
+class TestFig2:
+    def test_compute_time_linear_in_batch(self):
+        out = figures.fig2_batchsize_scaling(batch_sizes=(16, 32, 64))
+        for name, d in out.items():
+            t = d["compute_time_s"]
+            assert t[1] == pytest.approx(2 * t[0], rel=1e-6)
+
+    def test_memory_monotone_in_batch(self):
+        out = figures.fig2_batchsize_scaling(batch_sizes=(8, 32, 128))
+        for name, d in out.items():
+            m = d["memory_bytes"]
+            assert m[0] < m[1] < m[2]
+
+
+class TestFig4:
+    def test_hessian_tracks_gradient_variance(self):
+        out = figures.fig4_hessian_vs_gradient(n_steps=40, seed=0)
+        assert out["correlation"] > 0.3
+        assert len(out["hessian_eig"]) == len(out["grad_variance"])
+
+
+class TestFig6:
+    def test_delta_dial_endpoints(self):
+        out = figures.fig6_delta_dial(
+            deltas=(0.0, 1e9), n_workers=2, n_steps=30, data_scale=0.1
+        )
+        assert out[0.0]["lssr"] == 0.0
+        assert out[1e9]["lssr"] > 0.9
+
+    def test_lssr_monotone_in_delta(self):
+        out = figures.fig6_delta_dial(
+            deltas=(0.0, 0.3, 1e9), n_workers=2, n_steps=30, data_scale=0.1
+        )
+        lssrs = [out[d]["lssr"] for d in (0.0, 0.3, 1e9)]
+        assert lssrs == sorted(lssrs)
+
+
+class TestFig8:
+    def test_tracker_overhead_grows_with_window(self):
+        """O(w) smoothing: a 8x window must cost measurably more. Wall-time
+        measurement is noisy under CPU contention, so take the best of three
+        runs per window before comparing."""
+        best = {25: float("inf"), 200: float("inf")}
+        for _ in range(3):
+            out = figures.fig8a_tracker_overhead(
+                windows=(25, 200), grad_size=50_000, n_updates=200
+            )
+            for w in best:
+                best[w] = min(best[w], out[w])
+        assert best[200] > best[25]
+
+    def test_partition_overhead_seldp_dominates_on_big_data(self):
+        out = figures.fig8b_partition_overhead(
+            dataset_sizes={"big": 800_000}, repeats=2
+        )
+        assert out["big"]["seldp_s"] > out["big"]["defdp_s"]
+
+    def test_partition_overhead_small_margin(self):
+        """Paper: the margin is a one-time cost of at most seconds."""
+        out = figures.fig8b_partition_overhead(
+            dataset_sizes={"cifar": 50_000}, repeats=2
+        )
+        assert out["cifar"]["seldp_s"] < 5.0
+
+
+class TestFig5Smoke:
+    def test_series_shapes(self):
+        out = figures.fig5_gradchange_vs_convergence(
+            n_workers=2, n_steps=40, data_scale=0.1, eval_every=20
+        )
+        assert len(out["grad_change"]) == 40
+        assert len(out["eval_steps"]) == len(out["metric"])

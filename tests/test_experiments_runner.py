@@ -1,0 +1,82 @@
+"""Tests for the method dispatcher."""
+
+import pytest
+
+from repro.core import BSPTrainer, SelSyncTrainer
+from repro.experiments.runner import MethodSpec, build_trainer, run_method
+from repro.experiments.workloads import build_workload
+
+
+@pytest.fixture
+def tiny_workload():
+    return build_workload(
+        "resnet_cifar10", n_workers=2, n_steps=20, data_scale=0.1
+    )
+
+
+class TestMethodSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trainer"):
+            MethodSpec("sgld")
+
+    def test_display_label(self):
+        assert MethodSpec("bsp").display == "bsp"
+        assert MethodSpec("selsync", {"delta": 0.3}).display == "selsync(delta=0.3)"
+        assert MethodSpec("bsp", label="BSP!").display == "BSP!"
+
+
+class TestBuildTrainer:
+    def test_builds_right_class(self, tiny_workload):
+        assert isinstance(build_trainer(MethodSpec("bsp"), tiny_workload), BSPTrainer)
+
+    def test_params_forwarded(self, tiny_workload):
+        t = build_trainer(MethodSpec("selsync", {"delta": 0.7}), tiny_workload)
+        assert isinstance(t, SelSyncTrainer)
+        assert t.delta == 0.7
+
+
+class TestRunMethod:
+    def test_end_to_end(self, tiny_workload):
+        res = run_method(
+            MethodSpec("selsync", {"delta": 0.3}),
+            tiny_workload,
+            n_steps=10,
+            eval_every=5,
+        )
+        assert res.steps == 10
+        assert res.final_metric is not None
+
+    def test_manifest_attached(self, tiny_workload):
+        res = run_method(
+            MethodSpec("selsync", {"delta": 0.3}),
+            tiny_workload,
+            n_steps=6,
+            eval_every=6,
+        )
+        meta = res.log.meta
+        assert meta["kind"] == "selsync"
+        assert meta["params"]["delta"] == 0.3
+        assert meta["n_workers"] == 2
+        assert meta["partition"] == "seldp"
+        assert "repro_version" in meta
+
+    def test_manifest_roundtrips(self, tiny_workload, tmp_path):
+        from repro.utils.serialization import load_runlog, save_runlog
+
+        res = run_method(MethodSpec("bsp"), tiny_workload, n_steps=5, eval_every=5)
+        p = tmp_path / "r.jsonl"
+        save_runlog(res.log, p)
+        assert load_runlog(p).meta == res.log.meta
+
+    def test_patience_stops_early(self):
+        built = build_workload(
+            "resnet_cifar10", n_workers=2, n_steps=100, data_scale=0.1
+        )
+        res = run_method(
+            MethodSpec("localsgd"),
+            built,
+            n_steps=100,
+            eval_every=5,
+            patience=1,
+        )
+        assert res.steps <= 100

@@ -1,0 +1,104 @@
+"""Tests for the canonical workload specs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import WORKLOADS, build_workload, get_workload
+from repro.optim import ConstantLR, IntervalDecay, MultiStepDecay
+
+ALL = ["resnet_cifar10", "vgg_cifar100", "alexnet_imagenet", "transformer_wikitext"]
+
+
+class TestRegistry:
+    def test_all_four_paper_workloads(self):
+        for name in ALL:
+            assert name in WORKLOADS
+
+
+class TestSchedules:
+    def test_resnet_schedule_is_multistep(self):
+        s = get_workload("resnet_cifar10").make_schedule(1000)
+        assert isinstance(s, MultiStepDecay)
+        assert s(0) > s(999)  # decays within the budget
+
+    def test_alexnet_schedule_is_constant(self):
+        """Paper: AlexNet trains with Adam at a fixed learning rate."""
+        s = get_workload("alexnet_imagenet").make_schedule(1000)
+        assert isinstance(s, ConstantLR)
+
+    def test_transformer_schedule_is_interval(self):
+        s = get_workload("transformer_wikitext").make_schedule(1000)
+        assert isinstance(s, IntervalDecay)
+
+    def test_milestones_scale_with_budget(self):
+        w = get_workload("resnet_cifar10")
+        short = w.make_schedule(100)
+        long = w.make_schedule(10_000)
+        # Decay happens at the same relative point.
+        assert short(99) < short(0)
+        assert long(99) == long(0)
+
+
+class TestMetricDirection:
+    def test_perplexity_is_lower_better(self):
+        assert not get_workload("transformer_wikitext").higher_is_better
+
+    def test_accuracy_is_higher_better(self):
+        assert get_workload("resnet_cifar10").higher_is_better
+
+
+class TestBuild:
+    def test_build_produces_consistent_cluster(self):
+        built = build_workload(
+            "resnet_cifar10", n_workers=3, n_steps=50, data_scale=0.1
+        )
+        assert len(built.workers) == 3
+        assert built.cluster.n_workers == 3
+        p0 = built.workers[0].get_params()
+        for w in built.workers[1:]:
+            assert np.array_equal(p0, w.get_params())
+
+    def test_paper_scale_constants_attached(self):
+        built = build_workload("vgg_cifar100", n_workers=2, data_scale=0.1)
+        assert built.cluster.comm_bytes == 507e6
+        assert built.cluster.flops_per_sample == 0.9e9
+
+    def test_partition_schemes(self):
+        for scheme in ("seldp", "defdp"):
+            built = build_workload(
+                "resnet_cifar10", n_workers=2, partition_scheme=scheme, data_scale=0.1
+            )
+            assert built.partition.scheme in ("seldp", "defdp")
+
+    def test_noniid_partition(self):
+        built = build_workload(
+            "resnet_cifar10",
+            n_workers=5,
+            partition_scheme="noniid",
+            labels_per_worker=1,
+            data_scale=0.2,
+        )
+        labels = built.train.labels
+        for n in range(5):
+            assert np.unique(labels[built.partition[n]]).size <= 2
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("resnet_cifar10", partition_scheme="stripes")
+
+    def test_data_scale_shrinks_dataset(self):
+        small = build_workload("resnet_cifar10", n_workers=2, data_scale=0.1)
+        full = build_workload("resnet_cifar10", n_workers=2, data_scale=1.0)
+        assert len(small.train) < len(full.train)
+
+    def test_batch_size_override(self):
+        built = build_workload(
+            "resnet_cifar10", n_workers=2, batch_size=8, data_scale=0.1
+        )
+        assert built.batch_size == 8
+        assert built.workers[0].loader.batch_size == 8
+
+    def test_transformer_workload_builds(self):
+        built = build_workload("transformer_wikitext", n_workers=2, data_scale=0.2)
+        x, y = built.workers[0].loader.next_batch()
+        assert x.ndim == 2  # token windows

@@ -1,0 +1,100 @@
+"""Failure-injection tests: the library must fail loudly and precisely.
+
+A distributed-training library that silently mangles shapes or swallows
+NaNs produces wrong papers; these tests pin the error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, SelSyncTrainer, TrainConfig
+from repro.core.grad_tracker import RelativeGradChange
+from repro.cluster.server import ParameterServer
+from repro.cluster.worker import build_worker_group
+from repro.data import ArrayDataset, BatchLoader, selsync_partition
+from repro.nn.models import build_model
+from repro.optim import SGD
+from repro.utils.ewma import Ewma
+
+
+class TestNanPropagation:
+    def test_ewma_rejects_nan_grad_norm(self):
+        """A NaN gradient norm (diverged model) must raise, not smooth."""
+        tracker = RelativeGradChange()
+        with pytest.raises(ValueError, match="non-finite"):
+            tracker._ewma.update(float("nan"))
+
+    def test_exploding_lr_produces_detectable_divergence(self):
+        """With an absurd LR the loss blows up; the library must keep
+        reporting rather than crash mid-run, and the numbers must reveal
+        the explosion (no silent clipping)."""
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(64, 8)), rng.integers(0, 3, 64))
+        part = selsync_partition(64, 2, rng=1)
+        loaders = BatchLoader.for_workers(ds, part, batch_size=8, seed=2)
+        workers = build_worker_group(
+            2,
+            lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+            lambda m: SGD(m, lr=50.0),
+            loaders,
+        )
+        cluster = ClusterConfig(n_workers=2, comm_bytes=1e6, flops_per_sample=1e6)
+        trainer = SelSyncTrainer(workers, cluster, delta=0.3)
+        res = trainer.run(TrainConfig(n_steps=15, eval_every=15, eval_fn=None))
+        losses = res.log.losses()
+        assert losses[-1] > losses[0] or not np.isfinite(losses[-1])
+
+
+class TestShapeMismatches:
+    def test_ps_rejects_foreign_model(self):
+        ps = ParameterServer(np.zeros(10))
+        with pytest.raises(ValueError):
+            ps.aggregate_params([np.zeros(11)])
+
+    def test_worker_rejects_foreign_gradient(self):
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(32, 8)), rng.integers(0, 3, 32))
+        loaders = [BatchLoader(ds, np.arange(32), batch_size=8, rng=0)]
+        workers = build_worker_group(
+            1,
+            lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+            lambda m: SGD(m, lr=0.1),
+            loaders,
+        )
+        with pytest.raises(ValueError):
+            workers[0].apply_gradient(np.zeros(3), lr=0.1)
+
+
+class TestEmptyAndDegenerate:
+    def test_single_worker_cluster_works(self):
+        """N=1 degenerates gracefully: no communication cost anywhere."""
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(32, 8)), rng.integers(0, 3, 32))
+        loaders = [BatchLoader(ds, np.arange(32), batch_size=8, rng=0)]
+        workers = build_worker_group(
+            1,
+            lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+            lambda m: SGD(m, lr=0.1),
+            loaders,
+        )
+        cluster = ClusterConfig(n_workers=1, comm_bytes=1e9, flops_per_sample=1e6)
+        trainer = SelSyncTrainer(workers, cluster, delta=0.0)
+        res = trainer.run(TrainConfig(n_steps=5, eval_every=5, eval_fn=None))
+        assert res.log.total_comm_time == 0.0
+
+    def test_ewma_window_one_degenerates_to_identity(self):
+        e = Ewma(alpha=0.5, window=1)
+        assert e.update(3.0) == 3.0
+        assert e.update(9.0) == 9.0
+
+    def test_train_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(n_steps=0)
+        with pytest.raises(ValueError):
+            TrainConfig(eval_every=0)
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_workers=0)

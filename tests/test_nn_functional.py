@@ -1,0 +1,85 @@
+"""Direct tests for the stateless functional kernels."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+class TestActivations:
+    def test_relu_clamps(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.array_equal(F.relu(x), [0.0, 0.0, 3.0])
+
+    def test_relu_grad_mask(self):
+        x = np.array([-1.0, 2.0])
+        g = F.relu_grad(x, np.ones(2))
+        assert np.array_equal(g, [0.0, 1.0])
+
+    def test_gelu_asymptotes(self):
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+        assert F.gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_gelu_grad_matches_finite_difference(self):
+        x = RNG.normal(size=16)
+        eps = 1e-6
+        num = (F.gelu(x + eps) - F.gelu(x - eps)) / (2 * eps)
+        ana = F.gelu_grad(x, np.ones_like(x))
+        assert np.allclose(num, ana, atol=1e-6)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = RNG.normal(size=32) * 5
+        s = F.sigmoid(x)
+        assert ((s > 0) & (s < 1)).all()
+        assert np.allclose(F.sigmoid(-x), 1 - s)
+
+    def test_sigmoid_stable_at_extremes(self):
+        s = F.sigmoid(np.array([-1e4, 1e4]))
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestSoftmaxBackward:
+    def test_matches_jacobian(self):
+        """softmax_backward must equal Jᵀ·g with J the softmax Jacobian."""
+        x = RNG.normal(size=5)
+        p = F.softmax(x)
+        g = RNG.normal(size=5)
+        jac = np.diag(p) - np.outer(p, p)
+        expected = jac @ g
+        assert np.allclose(F.softmax_backward(p, g), expected)
+
+
+class TestConvPlumbing:
+    def test_conv_out_size(self):
+        assert F.conv_out_size(8, 3, 1, 0) == 6
+        assert F.conv_out_size(8, 3, 2, 1) == 4
+        with pytest.raises(ValueError):
+            F.conv_out_size(2, 5, 1, 0)
+
+    def test_im2col_patch_content(self):
+        """The first row of the patch matrix is the top-left receptive field."""
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols, oh, ow = F.im2col(x, 2, 2, 1, 0)
+        assert (oh, ow) == (3, 3)
+        assert np.array_equal(cols[0], [0, 1, 4, 5])
+        assert np.array_equal(cols[-1], [10, 11, 14, 15])
+
+    def test_im2col_channel_layout(self):
+        x = RNG.normal(size=(1, 2, 3, 3))
+        cols, _, _ = F.im2col(x, 3, 3, 1, 0)
+        # Single output position: channels concatenated in order.
+        assert np.allclose(cols[0][:9], x[0, 0].ravel())
+        assert np.allclose(cols[0][9:], x[0, 1].ravel())
+
+    def test_col2im_counts_overlaps(self):
+        """Every input position accumulates once per patch covering it."""
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((4, 4))  # 2x2 kernel, stride 1 → 4 patches of 4 taps
+        back = F.col2im(cols, x_shape, 2, 2, 1, 0)
+        # Center pixel is covered by all 4 patches, corners by exactly 1.
+        assert back[0, 0, 1, 1] == 4.0
+        assert back[0, 0, 0, 0] == 1.0

@@ -1,0 +1,194 @@
+"""Finite-difference gradient verification for every layer type.
+
+This is the load-bearing correctness test of the NN substrate: if these
+pass, every trainer above is doing true gradient descent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    MultiHeadSelfAttention,
+    ReLU,
+    Residual,
+    Sequential,
+    Tanh,
+)
+from repro.nn.losses import CrossEntropyLoss
+
+EPS = 1e-5
+TOL = 1e-4
+
+
+def targets_for(out: np.ndarray) -> np.ndarray:
+    r = np.random.default_rng(42)
+    return r.integers(0, out.shape[-1], out.shape[:-1])
+
+
+def check_param_grads(module, x, n_checks=20):
+    """Compare analytic parameter gradients against central differences."""
+    module.zero_grad()
+    loss = CrossEntropyLoss()
+    out = module.forward(x)
+    y = targets_for(out)
+    loss.forward(out, y)
+    module.backward(loss.backward())
+    analytic = module.get_flat_grads()
+    flat = module.get_flat_params()
+    rng = np.random.default_rng(1)
+    idxs = rng.choice(flat.size, size=min(n_checks, flat.size), replace=False)
+    for i in idxs:
+        fp = flat.copy()
+        fp[i] += EPS
+        module.set_flat_params(fp)
+        l1 = CrossEntropyLoss().forward(module.forward(x), y)
+        fp[i] -= 2 * EPS
+        module.set_flat_params(fp)
+        l2 = CrossEntropyLoss().forward(module.forward(x), y)
+        fp[i] += EPS
+        module.set_flat_params(fp)
+        numeric = (l1 - l2) / (2 * EPS)
+        assert abs(numeric - analytic[i]) < TOL * max(1.0, abs(numeric)), (
+            f"param grad mismatch at {i}: numeric={numeric}, analytic={analytic[i]}"
+        )
+
+
+def check_input_grads(module, x, n_checks=10):
+    """Compare the returned input gradient against central differences."""
+    module.zero_grad()
+    loss = CrossEntropyLoss()
+    out = module.forward(x)
+    y = targets_for(out)
+    loss.forward(out, y)
+    gin = module.backward(loss.backward())
+    rng = np.random.default_rng(2)
+    coords = list(np.ndindex(*x.shape))
+    picks = [coords[j] for j in rng.choice(len(coords), size=min(n_checks, len(coords)), replace=False)]
+    for idx in picks:
+        xp = x.copy()
+        xp[idx] += EPS
+        l1 = CrossEntropyLoss().forward(module.forward(xp), y)
+        xp[idx] -= 2 * EPS
+        l2 = CrossEntropyLoss().forward(module.forward(xp), y)
+        numeric = (l1 - l2) / (2 * EPS)
+        assert abs(numeric - gin[idx]) < TOL * max(1.0, abs(numeric)), (
+            f"input grad mismatch at {idx}: numeric={numeric}, analytic={gin[idx]}"
+        )
+
+
+RNG = np.random.default_rng(0)
+
+CASES = {
+    "linear": (lambda: Linear(5, 7, rng=0), RNG.normal(size=(3, 5))),
+    "linear_no_bias": (lambda: Linear(5, 7, bias=False, rng=0), RNG.normal(size=(3, 5))),
+    "linear_3d_input": (lambda: Linear(5, 7, rng=0), RNG.normal(size=(2, 3, 5))),
+    "conv_basic": (lambda: Conv2d(2, 3, 3, rng=0), RNG.normal(size=(2, 2, 5, 5))),
+    "conv_stride_pad": (
+        lambda: Conv2d(2, 3, 3, stride=2, padding=1, rng=0),
+        RNG.normal(size=(2, 2, 6, 6)),
+    ),
+    "conv_1x1": (lambda: Conv2d(3, 2, 1, rng=0), RNG.normal(size=(2, 3, 4, 4))),
+    "batchnorm": (
+        lambda: Sequential(
+            Conv2d(2, 3, 3, padding=1, rng=0),
+            BatchNorm2d(3),
+            ReLU(),
+            Flatten(),
+            Linear(3 * 36, 4, rng=1),
+        ),
+        RNG.normal(size=(3, 2, 6, 6)),
+    ),
+    "layernorm": (
+        lambda: Sequential(LayerNorm(6), Linear(6, 4, rng=0)),
+        RNG.normal(size=(3, 6)),
+    ),
+    "maxpool": (
+        lambda: Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=0), MaxPool2d(2), Flatten(), Linear(18, 4, rng=1)
+        ),
+        RNG.normal(size=(2, 1, 6, 6)),
+    ),
+    "avgpool": (
+        lambda: Sequential(AvgPool2d(2), Flatten(), Linear(18, 4, rng=1)),
+        RNG.normal(size=(2, 2, 6, 6)),
+    ),
+    "globalavgpool": (
+        lambda: Sequential(GlobalAvgPool2d(), Linear(2, 4, rng=1)),
+        RNG.normal(size=(2, 2, 4, 4)),
+    ),
+    "attention": (
+        lambda: Sequential(MultiHeadSelfAttention(8, 2, rng=0), Linear(8, 5, rng=1)),
+        RNG.normal(size=(2, 4, 8)),
+    ),
+    "attention_noncausal": (
+        lambda: Sequential(
+            MultiHeadSelfAttention(8, 2, causal=False, rng=0), Linear(8, 5, rng=1)
+        ),
+        RNG.normal(size=(2, 4, 8)),
+    ),
+    "gelu": (
+        lambda: Sequential(Linear(5, 5, rng=0), GELU(), Linear(5, 4, rng=1)),
+        RNG.normal(size=(3, 5)),
+    ),
+    "tanh": (
+        lambda: Sequential(Linear(5, 5, rng=0), Tanh(), Linear(5, 4, rng=1)),
+        RNG.normal(size=(3, 5)),
+    ),
+    "residual_identity": (
+        lambda: Sequential(
+            Residual(Sequential(Linear(6, 6, rng=0), ReLU())), Linear(6, 3, rng=1)
+        ),
+        RNG.normal(size=(3, 6)),
+    ),
+    "residual_projected": (
+        lambda: Sequential(
+            Residual(
+                Sequential(Conv2d(2, 4, 3, stride=2, padding=1, rng=0)),
+                proj=Conv2d(2, 4, 1, stride=2, rng=1),
+            ),
+            Flatten(),
+            Linear(4 * 4, 3, rng=2),
+        ),
+        RNG.normal(size=(2, 2, 4, 4)),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_parameter_gradients(name):
+    factory, x = CASES[name]
+    check_param_grads(factory(), x.copy())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_input_gradients(name):
+    factory, x = CASES[name]
+    check_input_grads(factory(), x.copy())
+
+
+def test_dropout_eval_mode_gradient_exact():
+    """In eval mode dropout is the identity, so gradcheck must pass exactly."""
+    m = Sequential(Linear(5, 5, rng=0), Dropout(0.5, rng=1), Linear(5, 3, rng=2))
+    m.eval()
+    check_param_grads(m, RNG.normal(size=(3, 5)))
+
+
+def test_dropout_train_mode_backward_matches_mask():
+    m = Dropout(0.5, rng=0)
+    m.train()
+    x = RNG.normal(size=(4, 6))
+    out = m.forward(x)
+    g = np.ones_like(out)
+    gin = m.backward(g)
+    # Zeroed activations must receive zero gradient; kept ones are scaled.
+    assert np.array_equal(gin == 0.0, out == 0.0) or np.allclose(x[out == 0.0], 0.0)

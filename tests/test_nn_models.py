@@ -1,0 +1,108 @@
+"""Model zoo tests: construction, shapes, determinism and learnability."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import MODELS, build_model
+from repro.optim import SGD
+
+RNG = np.random.default_rng(0)
+
+IMAGE_MODELS = ["smallresnet", "smallvgg", "smallalexnet"]
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        for name in ["mlp", *IMAGE_MODELS, "tinytransformer"]:
+            assert name in MODELS
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet9000")
+
+
+@pytest.mark.parametrize("name", IMAGE_MODELS)
+class TestImageModels:
+    def test_output_shape(self, name):
+        m = build_model(name, n_classes=7, rng=0)
+        out = m.forward(RNG.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 7)
+
+    def test_deterministic_init(self, name):
+        a = build_model(name, rng=3).get_flat_params()
+        b = build_model(name, rng=3).get_flat_params()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, name):
+        a = build_model(name, rng=3).get_flat_params()
+        b = build_model(name, rng=4).get_flat_params()
+        assert not np.array_equal(a, b)
+
+    def test_flops_positive(self, name):
+        assert build_model(name, rng=0).flops_per_sample > 0
+
+    def test_backward_produces_grads(self, name):
+        m = build_model(name, rng=0)
+        loss = CrossEntropyLoss()
+        out = m.forward(RNG.normal(size=(2, 3, 16, 16)))
+        loss.forward(out, np.zeros(2, dtype=int))
+        m.backward(loss.backward())
+        assert np.linalg.norm(m.get_flat_grads()) > 0
+
+
+class TestTransformer:
+    def test_output_shape(self):
+        m = build_model("tinytransformer", vocab_size=32, max_len=8, rng=0)
+        out = m.forward(RNG.integers(0, 32, (2, 8)))
+        assert out.shape == (2, 8, 32)
+
+    def test_rejects_long_sequence(self):
+        m = build_model("tinytransformer", vocab_size=32, max_len=4, rng=0)
+        with pytest.raises(ValueError, match="max_len"):
+            m.forward(RNG.integers(0, 32, (1, 5)))
+
+    def test_rejects_non_2d(self):
+        m = build_model("tinytransformer", rng=0)
+        with pytest.raises(ValueError):
+            m.forward(np.zeros(4, dtype=int))
+
+    def test_causality_end_to_end(self):
+        m = build_model("tinytransformer", vocab_size=16, max_len=8, rng=0, dropout=0.0)
+        m.eval()
+        ids = RNG.integers(0, 16, (1, 6))
+        out1 = m.forward(ids)
+        ids2 = ids.copy()
+        ids2[0, 5] = (ids2[0, 5] + 1) % 16
+        out2 = m.forward(ids2)
+        assert np.allclose(out1[0, :5], out2[0, :5])
+
+
+class TestMLPLearnability:
+    def test_learns_separable_blobs(self):
+        """A few hundred SGD steps must essentially solve linearly separable
+        blobs — this is the substrate's end-to-end sanity check."""
+        from repro.data import build_dataset
+
+        train, test = build_dataset(
+            "blobs", n_train=256, n_test=64, n_features=8, n_classes=3, rng=0
+        )
+        m = build_model("mlp", in_features=8, n_classes=3, hidden=(16,), rng=0)
+        opt = SGD(m, lr=0.1, momentum=0.9)
+        rng = np.random.default_rng(1)
+        for _ in range(150):
+            idx = rng.integers(0, len(train), 32)
+            x, y = train.get_batch(idx)
+            m.zero_grad()
+            loss = CrossEntropyLoss()
+            loss.forward(m.forward(x), y)
+            m.backward(loss.backward())
+            opt.step()
+        x, y = test.get_batch(np.arange(len(test)))
+        acc = (m.forward(x).argmax(axis=-1) == y).mean()
+        assert acc > 0.9
+
+    def test_flattens_image_input(self):
+        m = build_model("mlp", in_features=12, n_classes=2, rng=0)
+        out = m.forward(RNG.normal(size=(2, 3, 2, 2)))
+        assert out.shape == (2, 2)

@@ -1,0 +1,90 @@
+"""Model zoo at non-default configurations: scaling knobs must compose."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_model
+
+RNG = np.random.default_rng(0)
+
+
+def train_steps(model, x, y, n=3, lr=0.05):
+    from repro.optim import SGD
+
+    opt = SGD(model, lr=lr)
+    losses = []
+    for _ in range(n):
+        model.zero_grad()
+        loss = CrossEntropyLoss()
+        losses.append(loss.forward(model.forward(x), y))
+        model.backward(loss.backward())
+        opt.step()
+    return losses
+
+
+class TestDeepResNet:
+    def test_four_block_variant(self):
+        m = build_model("smallresnet", n_blocks=4, base=4, rng=0)
+        x = RNG.normal(size=(2, 3, 16, 16))
+        y = RNG.integers(0, 10, 2)
+        losses = train_steps(m, x, y)
+        assert np.isfinite(losses).all()
+        assert losses[-1] < losses[0]  # overfits a 2-sample batch quickly
+
+    def test_depth_increases_parameters(self):
+        shallow = build_model("smallresnet", n_blocks=1, rng=0)
+        deep = build_model("smallresnet", n_blocks=3, rng=0)
+        assert deep.n_parameters > shallow.n_parameters
+        assert deep.flops_per_sample > shallow.flops_per_sample
+
+    def test_alternative_image_size(self):
+        m = build_model("smallresnet", image_size=12, rng=0)
+        out = m.forward(RNG.normal(size=(2, 3, 12, 12)))
+        assert out.shape == (2, 10)
+
+
+class TestWideTransformer:
+    def test_three_layer_four_head(self):
+        m = build_model(
+            "tinytransformer", vocab_size=32, dim=16, n_heads=4,
+            n_layers=3, max_len=8, dropout=0.0, rng=0,
+        )
+        ids = RNG.integers(0, 32, (2, 8))
+        y = RNG.integers(0, 32, (2, 8))
+        losses = train_steps(m, ids, y, lr=0.2)
+        assert losses[-1] < losses[0]
+
+    def test_gradients_reach_embeddings(self):
+        m = build_model(
+            "tinytransformer", vocab_size=16, dim=8, n_layers=2,
+            max_len=4, dropout=0.0, rng=0,
+        )
+        ids = np.array([[1, 2, 3, 1]])
+        loss = CrossEntropyLoss()
+        loss.forward(m.forward(ids), np.array([[2, 3, 1, 2]]))
+        m.backward(loss.backward())
+        assert np.linalg.norm(m.tok_emb.weight.grad) > 0
+        assert np.linalg.norm(m.pos_emb.weight.grad) > 0
+
+
+class TestVggAndAlexVariants:
+    @pytest.mark.parametrize("name", ["smallvgg", "smallalexnet"])
+    def test_custom_widths(self, name):
+        m = build_model(name, base=6, fc_width=32, n_classes=5, rng=0)
+        out = m.forward(RNG.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 5)
+
+    def test_grayscale_input(self):
+        m = build_model("smallvgg", in_channels=1, n_classes=4, rng=0)
+        out = m.forward(RNG.normal(size=(2, 1, 16, 16)))
+        assert out.shape == (2, 4)
+
+
+class TestWorkloadScheduleEdgeCases:
+    def test_one_step_budget(self):
+        from repro.experiments.workloads import get_workload
+
+        for name in ("resnet_cifar10", "transformer_wikitext"):
+            s = get_workload(name).make_schedule(1)
+            assert s(0) > 0

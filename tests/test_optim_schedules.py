@@ -1,0 +1,64 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import ConstantLR, IntervalDecay, MultiStepDecay
+
+
+class TestConstantLR:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(0) == s(1000) == 0.1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.1)(-1)
+
+
+class TestMultiStepDecay:
+    def test_paper_resnet_schedule_shape(self):
+        """lr decays 10x at each milestone (paper: epochs 110, 150)."""
+        s = MultiStepDecay(0.1, milestones=[110, 150], gamma=0.1)
+        assert s(0) == 0.1
+        assert s(109) == 0.1
+        assert s(110) == pytest.approx(0.01)
+        assert s(150) == pytest.approx(0.001)
+
+    def test_milestones_must_ascend(self):
+        with pytest.raises(ValueError):
+            MultiStepDecay(0.1, milestones=[50, 10])
+
+    def test_empty_milestones_is_constant(self):
+        s = MultiStepDecay(0.1, milestones=[])
+        assert s(99999) == 0.1
+
+    @given(step=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nonincreasing(self, step):
+        s = MultiStepDecay(1.0, milestones=[10, 100, 1000], gamma=0.5)
+        assert s(step + 1) <= s(step)
+
+
+class TestIntervalDecay:
+    def test_paper_transformer_schedule(self):
+        """Decay 0.8× every 2000 iterations (paper §IV-A)."""
+        s = IntervalDecay(2.0, interval=2000, gamma=0.8)
+        assert s(0) == 2.0
+        assert s(1999) == 2.0
+        assert s(2000) == pytest.approx(1.6)
+        assert s(4000) == pytest.approx(2.0 * 0.8**2)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            IntervalDecay(1.0, interval=0)
+
+    @given(step=st.integers(0, 50_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_positive(self, step):
+        assert IntervalDecay(2.0, interval=100, gamma=0.8)(step) > 0.0

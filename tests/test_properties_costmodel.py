@@ -1,0 +1,78 @@
+"""Hypothesis property tests for the network cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.costmodel import ps_sync_time, ring_allreduce_time
+from repro.comm.network import NetworkModel
+
+
+@given(
+    nbytes=st.floats(1e3, 1e9),
+    n=st.integers(2, 64),
+    wpn=st.integers(1, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_ps_monotone_in_payload(nbytes, n, wpn):
+    net = NetworkModel(workers_per_node=wpn)
+    assert ps_sync_time(2 * nbytes, n, net) > ps_sync_time(nbytes, n, net)
+
+
+@given(nbytes=st.floats(1e3, 1e9), n=st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_ps_monotone_in_workers(nbytes, n):
+    """More workers can never make a PS round cheaper (same node packing)."""
+    net = NetworkModel()
+    assert ps_sync_time(nbytes, n + 1, net) >= ps_sync_time(nbytes, n, net) - 1e-12
+
+
+@given(
+    nbytes=st.floats(1e6, 1e9),
+    n=st.integers(4, 64),
+    wpn=st.integers(2, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_colocation_cost_bounded_by_intra_reduce(nbytes, n, wpn):
+    """Hierarchical aggregation removes PS-ingress serialization at the
+    price of a local intra-node reduce: packing can never cost more than
+    that reduce, and it strictly helps once PS ingress dominates."""
+    flat = NetworkModel(workers_per_node=1)
+    packed = NetworkModel(workers_per_node=wpn)
+    bits = 8.0 * nbytes
+    wpn_eff = min(wpn, n)
+    intra_round = 2.0 * (wpn_eff - 1) / wpn_eff * bits / (
+        packed.bandwidth_bps * packed.intra_node_speedup
+    )
+    t_flat = ps_sync_time(nbytes, n, flat)
+    t_packed = ps_sync_time(nbytes, n, packed)
+    assert t_packed <= t_flat + intra_round + 1e-12
+    # When flat-mode PS ingress strictly dominates the worker NIC, packing
+    # must win outright.
+    if n * bits / flat.ps_bandwidth_bps > 4 * bits / flat.bandwidth_bps:
+        assert t_packed < t_flat
+
+
+@given(
+    nbytes=st.floats(1e3, 1e9),
+    n=st.integers(2, 64),
+    bw_scale=st.floats(1.1, 10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_faster_links_are_cheaper(nbytes, n, bw_scale):
+    slow = NetworkModel()
+    fast = NetworkModel(
+        bandwidth_bps=slow.bandwidth_bps * bw_scale,
+        ps_bandwidth_bps=slow.ps_bandwidth_bps * bw_scale,
+    )
+    for fn in (ps_sync_time, ring_allreduce_time):
+        assert fn(nbytes, n, fast) < fn(nbytes, n, slow)
+
+
+@given(n=st.integers(2, 128))
+@settings(max_examples=40, deadline=None)
+def test_ring_latency_term_linear_in_workers(n):
+    """With zero payload the ring costs exactly 2(N-1) latencies."""
+    net = NetworkModel(latency_s=1e-3)
+    t = ring_allreduce_time(0.0, n, net)
+    assert t == pytest.approx(2 * (n - 1) * 1e-3)

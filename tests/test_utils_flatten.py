@@ -1,0 +1,64 @@
+"""Tests for flatten/unflatten helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.flatten import flatten_arrays, unflatten_like, tree_map
+
+
+class TestFlatten:
+    def test_concatenates_in_order(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([[3.0], [4.0]])
+        assert np.array_equal(flatten_arrays([a, b]), [1, 2, 3, 4])
+
+    def test_empty_list(self):
+        assert flatten_arrays([]).size == 0
+
+    def test_promotes_to_float64(self):
+        out = flatten_arrays([np.array([1, 2], dtype=np.float32)])
+        assert out.dtype == np.float64
+
+
+class TestUnflatten:
+    def test_roundtrip(self):
+        arrays = [np.arange(6.0).reshape(2, 3), np.arange(4.0)]
+        flat = flatten_arrays(arrays)
+        back = unflatten_like(flat, arrays)
+        for orig, rec in zip(arrays, back):
+            assert np.array_equal(orig, rec)
+            assert orig.shape == rec.shape
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError, match="5 elements"):
+            unflatten_like(np.zeros(5), [np.zeros((2, 3))])
+
+    def test_preserves_dtype(self):
+        t = [np.zeros(3, dtype=np.float32)]
+        out = unflatten_like(np.ones(3), t)
+        assert out[0].dtype == np.float32
+
+
+class TestTreeMap:
+    def test_applies_function(self):
+        out = tree_map(lambda a: a * 2, [np.ones(2), np.ones(3)])
+        assert np.array_equal(out[0], [2, 2])
+        assert np.array_equal(out[1], [2, 2, 2])
+
+
+@given(
+    shapes=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=1, max_size=5
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(shapes):
+    rng = np.random.default_rng(0)
+    arrays = [rng.normal(size=s) for s in shapes]
+    flat = flatten_arrays(arrays)
+    assert flat.size == sum(a.size for a in arrays)
+    back = unflatten_like(flat, arrays)
+    for orig, rec in zip(arrays, back):
+        assert np.allclose(orig, rec)

@@ -1,0 +1,44 @@
+"""Tests for the name → factory registry."""
+
+import pytest
+
+from repro.utils.registry import Registry
+
+
+@pytest.fixture
+def registry():
+    reg = Registry("widget")
+
+    @reg.register("Alpha")
+    def make_alpha(x=1):
+        return ("alpha", x)
+
+    return reg
+
+
+class TestRegistry:
+    def test_get_is_case_insensitive(self, registry):
+        assert registry.get("ALPHA") is registry.get("alpha")
+
+    def test_create_passes_kwargs(self, registry):
+        assert registry.create("alpha", x=5) == ("alpha", 5)
+
+    def test_unknown_name_lists_known(self, registry):
+        with pytest.raises(KeyError, match="alpha"):
+            registry.get("missing")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(KeyError, match="already registered"):
+            registry.register("alpha")(lambda: None)
+
+    def test_contains(self, registry):
+        assert "Alpha" in registry
+        assert "beta" not in registry
+
+    def test_iteration_sorted(self, registry):
+        registry.register("zeta")(lambda: None)
+        registry.register("beta")(lambda: None)
+        assert list(registry) == ["alpha", "beta", "zeta"]
+
+    def test_names(self, registry):
+        assert registry.names() == ["alpha"]

@@ -1,0 +1,98 @@
+"""Tests for run-log and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model
+from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+from repro.utils.serialization import (
+    load_model,
+    load_runlog,
+    save_model,
+    save_runlog,
+)
+
+
+@pytest.fixture
+def sample_log():
+    log = RunLog("demo")
+    log.record_iteration(
+        IterationRecord(step=0, synced=True, sim_time=1.5, comm_time=0.5,
+                        loss=2.0, grad_change=float("inf"), extra={"n_flags": 3.0})
+    )
+    log.record_iteration(
+        IterationRecord(step=1, synced=False, sim_time=1.0, comm_time=0.0,
+                        loss=1.5, grad_change=0.25)
+    )
+    log.record_eval(EvalRecord(step=1, epoch=0.5, sim_time=2.5, metric=0.8))
+    return log
+
+
+class TestRunlogRoundtrip:
+    def test_roundtrip_preserves_everything(self, sample_log, tmp_path):
+        p = tmp_path / "run.jsonl"
+        save_runlog(sample_log, p)
+        back = load_runlog(p)
+        assert back.name == "demo"
+        assert back.n_steps == 2
+        assert back.lssr() == 0.5
+        assert back.iterations[0].grad_change == float("inf")
+        assert back.iterations[1].grad_change == 0.25
+        assert back.iterations[0].extra == {"n_flags": 3.0}
+        assert back.evals[0].metric == 0.8
+        assert back.total_sim_time == sample_log.total_sim_time
+
+    def test_nan_loss_roundtrip(self, tmp_path):
+        log = RunLog()
+        log.record_iteration(
+            IterationRecord(step=0, synced=True, sim_time=1.0)
+        )
+        p = tmp_path / "r.jsonl"
+        save_runlog(log, p)
+        back = load_runlog(p)
+        assert np.isnan(back.iterations[0].loss)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_runlog(p)
+
+    def test_real_training_log_roundtrips(self, tmp_path, mlp_cluster, quick_cfg):
+        from repro.core import SelSyncTrainer
+
+        workers, cluster = mlp_cluster
+        res = SelSyncTrainer(workers, cluster, delta=0.3).run(quick_cfg)
+        p = tmp_path / "real.jsonl"
+        save_runlog(res.log, p)
+        back = load_runlog(p)
+        assert back.lssr() == res.log.lssr()
+        assert np.allclose(back.grad_changes(), res.log.grad_changes())
+
+
+class TestModelRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        m1 = build_model("smallresnet", rng=0)
+        p = tmp_path / "model.npz"
+        save_model(m1, p)
+        m2 = build_model("smallresnet", rng=99)  # different init
+        load_model(m2, p)
+        assert np.array_equal(m1.get_flat_params(), m2.get_flat_params())
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        m1 = build_model("mlp", in_features=8, n_classes=3, rng=0)
+        p = tmp_path / "model.npz"
+        save_model(m1, p)
+        m2 = build_model("mlp", in_features=9, n_classes=3, rng=0)
+        with pytest.raises((KeyError, ValueError)):
+            load_model(m2, p)
+
+    def test_transformer_roundtrip(self, tmp_path):
+        m1 = build_model("tinytransformer", rng=1)
+        p = tmp_path / "t.npz"
+        save_model(m1, p)
+        m2 = build_model("tinytransformer", rng=2)
+        load_model(m2, p)
+        ids = np.random.default_rng(0).integers(0, 64, (2, 8))
+        m1.eval(), m2.eval()
+        assert np.allclose(m1.forward(ids), m2.forward(ids))

@@ -1,0 +1,27 @@
+"""Tests for the wall timer."""
+
+import time
+
+from repro.utils.timer import WallTimer
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as t:
+            time.sleep(0.02)
+        assert 0.015 < t.elapsed < 0.5
+
+    def test_ms_conversion(self):
+        with WallTimer() as t:
+            pass
+        assert t.elapsed_ms == t.elapsed * 1e3
+
+    def test_reusable(self):
+        t = WallTimer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+        assert t.elapsed != first or first == 0.0

@@ -1,0 +1,63 @@
+"""End-to-end smoke of all four paper workloads at tiny scale.
+
+Each workload must train (metric moves in the right direction from its
+untrained baseline) under both BSP and SelSync. Catches wiring regressions
+between the experiments layer and any substrate.
+"""
+
+import pytest
+
+from repro.experiments.runner import MethodSpec, run_method
+from repro.experiments.workloads import build_workload, get_workload
+
+SCALES = {
+    "resnet_cifar10": dict(chance=0.1),
+    "vgg_cifar100": dict(chance=1 / 30, overrides={"n_classes": 30}),
+    "alexnet_imagenet": dict(chance=5 / 20),  # top-5 of 20 classes
+    "transformer_wikitext": dict(chance=64.0),  # uniform perplexity = |V|
+}
+
+
+def run(wname, spec, n_steps=60):
+    meta = SCALES[wname]
+    built = build_workload(
+        wname,
+        n_workers=2,
+        n_steps=n_steps,
+        data_scale=0.15,
+        seed=0,
+        dataset_overrides=meta.get("overrides"),
+    )
+    return run_method(spec, built, n_steps=n_steps, eval_every=n_steps)
+
+
+@pytest.mark.parametrize("wname", sorted(SCALES))
+def test_bsp_beats_chance(wname):
+    res = run(wname, MethodSpec("bsp"))
+    w = get_workload(wname)
+    chance = SCALES[wname]["chance"]
+    if w.higher_is_better:
+        assert res.best_metric > chance * 1.5
+    else:
+        assert res.best_metric < chance * 0.9
+
+
+@pytest.mark.parametrize("wname", sorted(SCALES))
+def test_selsync_beats_chance(wname):
+    res = run(wname, MethodSpec("selsync", {"delta": 0.05}))
+    w = get_workload(wname)
+    chance = SCALES[wname]["chance"]
+    if w.higher_is_better:
+        assert res.best_metric > chance * 1.5
+    else:
+        assert res.best_metric < chance * 0.9
+    assert res.lssr < 1.0  # at least the forced first sync happened
+
+
+def test_transformer_selsync_lssr_below_image_models():
+    """Paper Table I: the Transformer's LSSR (0.73) sits below the image
+    models' (0.83+) — its gradients keep changing longer. Directionally
+    check at tiny scale with a shared δ."""
+    ppl = run("transformer_wikitext", MethodSpec("selsync", {"delta": 0.05}), 80)
+    img = run("resnet_cifar10", MethodSpec("selsync", {"delta": 0.05}), 80)
+    assert ppl.lssr <= img.lssr + 0.35  # loose: directional, not exact
