@@ -1,0 +1,176 @@
+"""Hot-path A/B benchmark: seed path vs arena fast path, serial vs threaded.
+
+Measures lock-step training throughput (steps/sec) on the SmallVGG/CIFAR100
+workload with 8 workers for BSP and SelSync under three configurations:
+
+* ``seed``          — fast path disabled: the original flatten-by-concatenate
+                      storage, im2col convolutions, ``np.stack`` aggregation.
+* ``arena-serial``  — zero-copy arenas + fast kernels, serial executor.
+* ``arena-threaded``— same, per-worker gradient phase on a thread pool.
+
+Methodology: the host's clock frequency drifts in slow waves, so absolute
+timings from different moments are not comparable. Instead seed and arena
+trials are *interleaved* (off, on, off, on, ...) and the reported speedup is
+the **median of pairwise ratios** of adjacent trials — adjacent pairs see
+the same host speed, so the drift cancels. Run as a script (optionally with
+``--quick``) to write ``BENCH_hotpath.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import MethodSpec, build_trainer
+from repro.experiments.workloads import get_workload
+from repro.utils import fastpath
+from repro.utils.flatten import flatten_arrays, mean_into
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_trainer(method: str, executor: str = "serial", n_workers: int = 8):
+    wl = get_workload("vgg_cifar100")
+    built = wl.build(
+        n_workers=n_workers,
+        n_steps=1000,
+        data_scale=0.25,
+        seed=0,
+        cluster_kwargs={"executor": executor},
+    )
+    return build_trainer(MethodSpec(method, {}), built)
+
+
+def time_steps(trainer, start: int, n: int) -> float:
+    """Steps/sec over n consecutive trainer steps (wall clock)."""
+    t0 = time.perf_counter()
+    for i in range(start, start + n):
+        trainer.step(i)
+    return n / (time.perf_counter() - t0)
+
+
+def ab_trial(method: str, executor: str, trials: int, steps_off: int, steps_on: int):
+    """Interleaved off/on trials; returns per-mode rates and pairwise ratios.
+
+    One trainer runs with the fast path disabled (the seed-cost emulation),
+    a second with it enabled; trials alternate so adjacent pairs share the
+    host's momentary speed.
+    """
+    with fastpath.fastpath(False):
+        tr_off = make_trainer(method, "serial")
+    tr_on = make_trainer(method, executor)
+    gc.disable()
+    try:
+        # Warmup builds workspaces/arenas and touches every code path once.
+        with fastpath.fastpath(False):
+            for i in range(3):
+                tr_off.step(i)
+        for i in range(3):
+            tr_on.step(i)
+        off_rates, on_rates = [], []
+        off_i, on_i = 3, 3
+        for _ in range(trials):
+            with fastpath.fastpath(False):
+                off_rates.append(time_steps(tr_off, off_i, steps_off))
+            off_i += steps_off
+            on_rates.append(time_steps(tr_on, on_i, steps_on))
+            on_i += steps_on
+    finally:
+        gc.enable()
+        tr_on.executor.shutdown()
+        tr_off.executor.shutdown()
+    ratios = [on / off for off, on in zip(off_rates, on_rates)]
+    return {
+        "seed_steps_per_sec": round(statistics.median(off_rates), 3),
+        "fast_steps_per_sec": round(statistics.median(on_rates), 3),
+        "pairwise_ratios": [round(r, 3) for r in ratios],
+        "speedup_median_pairwise": round(statistics.median(ratios), 3),
+    }
+
+
+def micro_flat_ops(n_params: int = 200_000, n_workers: int = 8, reps: int = 50):
+    """Microbenchmark: flatten + aggregate, seed idiom vs arena idiom."""
+    rng = np.random.default_rng(0)
+    chunks = [rng.normal(size=s) for s in (64, 256, 1024, 4096, n_params)]
+    vectors = [rng.normal(size=n_params) for _ in range(n_workers)]
+    out = np.empty(n_params)
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        flatten_arrays(chunks)
+    t_concat = (time.perf_counter() - t0) / reps
+
+    flat = np.concatenate([c.ravel() for c in chunks])
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        flat.view()  # O(1) arena view
+    t_view = (time.perf_counter() - t0) / reps
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        np.mean(np.stack(vectors), axis=0)
+    t_stack = (time.perf_counter() - t0) / reps
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        mean_into(vectors, out=out)
+    t_inplace = (time.perf_counter() - t0) / reps
+
+    return {
+        "n_params": n_params,
+        "n_workers": n_workers,
+        "flatten_concat_us": round(t_concat * 1e6, 2),
+        "flatten_view_us": round(t_view * 1e6, 2),
+        "aggregate_stack_us": round(t_stack * 1e6, 2),
+        "aggregate_inplace_us": round(t_inplace * 1e6, 2),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="fewer/shorter trials")
+    ap.add_argument("--out", default=str(ROOT / "BENCH_hotpath.json"))
+    args = ap.parse_args(argv)
+
+    trials = 3 if args.quick else 10
+    steps_off = 4 if args.quick else 8
+    steps_on = 8 if args.quick else 16
+
+    results = {
+        "workload": "vgg_cifar100 (SmallVGG), 8 workers, data_scale=0.25",
+        "methodology": (
+            "interleaved seed/arena trials; speedup = median of pairwise "
+            "(adjacent) on/off steps-per-sec ratios, which cancels host "
+            "clock drift"
+        ),
+        "quick": args.quick,
+        "methods": {},
+        "micro": micro_flat_ops(),
+    }
+    for method in ("bsp", "selsync"):
+        results["methods"][method] = {
+            "arena-serial": ab_trial(method, "serial", trials, steps_off, steps_on),
+        }
+        print(f"{method}/arena-serial: "
+              f"{results['methods'][method]['arena-serial']}")
+        results["methods"][method]["arena-threaded"] = ab_trial(
+            method, "threaded", trials, steps_off, steps_on
+        )
+        print(f"{method}/arena-threaded: "
+              f"{results['methods'][method]['arena-threaded']}")
+
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,15 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--data-scale", type=float, default=0.3)
     p.add_argument("--batch-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--executor", default="serial", choices=["serial", "threaded"],
+        help="backend for the per-worker gradient phase "
+        "(results are identical; threaded may be faster on multi-core hosts)",
+    )
+    p.add_argument(
+        "--executor-threads", type=int, default=None,
+        help="thread-pool width for --executor threaded (default: n_workers)",
+    )
 
 
 def _add_method_args(p: argparse.ArgumentParser) -> None:
@@ -88,6 +97,10 @@ def _build(args, spec: MethodSpec):
         data_scale=args.data_scale,
         batch_size=args.batch_size,
         seed=args.seed,
+        cluster_kwargs={
+            "executor": args.executor,
+            "executor_threads": args.executor_threads,
+        },
     )
 
 

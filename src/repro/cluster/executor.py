@@ -1,0 +1,146 @@
+"""Pluggable execution backends for the per-worker gradient phase.
+
+Every lock-step trainer has the same hot section: N independent
+forward/backward passes, one per simulated worker. An executor owns *how*
+those passes run — sequentially in the caller's thread, or fanned out over a
+thread pool — while trainers stay oblivious; they call
+``executor.compute_gradients(workers)`` and get the per-worker losses back
+in worker order.
+
+Determinism contract
+--------------------
+Serial and threaded execution produce **byte-identical** results:
+
+* Batch draws are sequenced on the caller's thread in worker order (via
+  :meth:`~repro.cluster.worker.SimWorker.draw_batch`) before any task is
+  submitted, so loader RNG streams advance identically under both backends.
+* Each worker owns its model, optimizer, arena and RNG; tasks share no
+  mutable state, so the floating-point work per worker is the same
+  instruction sequence regardless of interleaving.
+* Results are collected in submission order, not completion order.
+
+The threaded backend helps when BLAS releases the GIL and cores are
+available; on a single-core host it degrades gracefully to roughly serial
+speed, which is why ``serial`` stays the default.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+EXECUTOR_KINDS = ("serial", "threaded")
+
+
+class WorkerExecutor:
+    """Runs the per-worker gradient phase; subclasses choose the backend."""
+
+    name = "abstract"
+
+    def compute_gradients(
+        self,
+        workers: Sequence,
+        batches: Optional[Sequence[Batch]] = None,
+    ) -> List[float]:
+        """Forward/backward every worker once; return losses in worker order.
+
+        When ``batches`` is ``None`` each worker's next mini-batch is drawn
+        here, on the calling thread, in worker order — so the data stream is
+        identical whichever backend runs the math. Callers that already
+        drew (or transformed) the batches pass them explicitly.
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (no-op for stateless backends)."""
+
+
+class SerialExecutor(WorkerExecutor):
+    """In-thread reference backend: a plain loop over the workers."""
+
+    name = "serial"
+
+    def compute_gradients(self, workers, batches=None):
+        if batches is None:
+            for w in workers:
+                w.draw_batch()
+            return [w.compute_gradient() for w in workers]
+        if len(batches) != len(workers):
+            raise ValueError(
+                f"got {len(batches)} batches for {len(workers)} workers"
+            )
+        return [w.compute_gradient(b) for w, b in zip(workers, batches)]
+
+
+class ThreadedExecutor(WorkerExecutor):
+    """Thread-pool backend.
+
+    The pool is created lazily at first use and reused across steps (pool
+    spin-up costs more than a step). ``threads`` bounds the pool size;
+    ``None`` sizes it to the widest worker group seen.
+    """
+
+    name = "threaded"
+
+    def __init__(self, threads: Optional[int] = None):
+        if threads is not None and threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+
+    def _ensure_pool(self, n_tasks: int) -> ThreadPoolExecutor:
+        size = min(n_tasks, self.threads) if self.threads else n_tasks
+        size = max(1, size)
+        if self._pool is None or size > self._pool_size:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-worker"
+            )
+            self._pool_size = size
+        return self._pool
+
+    def compute_gradients(self, workers, batches=None):
+        if len(workers) == 1:
+            # Single-worker calls (SSP's event loop) skip the pool round-trip.
+            return SerialExecutor.compute_gradients(self, workers, batches)
+        pool = self._ensure_pool(len(workers))
+        if batches is None:
+            # Sequence the data draws on this thread: determinism contract.
+            for w in workers:
+                w.draw_batch()
+            futures = [pool.submit(w.compute_gradient) for w in workers]
+        else:
+            if len(batches) != len(workers):
+                raise ValueError(
+                    f"got {len(batches)} batches for {len(workers)} workers"
+                )
+            futures = [
+                pool.submit(w.compute_gradient, b)
+                for w, b in zip(workers, batches)
+            ]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
+
+
+def make_executor(
+    kind: str = "serial", threads: Optional[int] = None
+) -> WorkerExecutor:
+    """Build an executor by name (``"serial"`` or ``"threaded"``)."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "threaded":
+        return ThreadedExecutor(threads=threads)
+    raise ValueError(
+        f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -8,9 +8,12 @@ pulled).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.utils import fastpath
+from repro.utils.flatten import mean_into
 
 
 class ParameterServer:
@@ -19,26 +22,49 @@ class ParameterServer:
     Synchronous aggregation (BSP / FedAvg / SelSync-PA) averages pushed
     vectors; asynchronous application (SSP) applies each worker's update as
     it arrives and tracks versions.
+
+    When the fast path is enabled, aggregation averages into preallocated
+    buffers (``mean_into`` is bitwise-identical to ``np.mean(np.stack(...),
+    axis=0)``) and hands out read-only views, so a sync step allocates
+    nothing proportional to the model size.
     """
 
     def __init__(self, init_params: np.ndarray):
-        self._params = np.asarray(init_params, dtype=np.float64).copy()
+        self._params = np.array(init_params, dtype=np.float64, copy=True)
+        # Scratch for gradient aggregation; separate from ``_params`` because
+        # GA averages gradients without moving the globals.
+        self._agg: Optional[np.ndarray] = None
         self.version: int = 0
 
     @property
     def n_params(self) -> int:
         return int(self._params.size)
 
+    def _readonly(self, vec: np.ndarray) -> np.ndarray:
+        view = vec.view()
+        view.flags.writeable = False
+        return view
+
     # -- synchronous interface --------------------------------------------
-    def pull(self) -> np.ndarray:
-        """Return a copy of the current global parameters."""
-        return self._params.copy()
+    def pull(self, copy: bool = True) -> np.ndarray:
+        """Current global parameters.
+
+        A private copy by default (workers go on to mutate their replicas);
+        ``copy=False`` returns a read-only view for call sites that copy
+        downstream anyway (e.g. straight into a worker's arena).
+        """
+        if copy:
+            return self._params.copy()
+        return self._readonly(self._params)
 
     def aggregate_params(self, pushed: Sequence[np.ndarray]) -> np.ndarray:
         """Parameter aggregation: global ← mean of pushed replicas."""
         self._check(pushed)
-        self._params = np.mean(np.stack(pushed), axis=0)
         self.version += 1
+        if fastpath.is_enabled():
+            mean_into(pushed, out=self._params)
+            return self._readonly(self._params)
+        self._params = np.mean(np.stack(pushed), axis=0)
         return self._params.copy()
 
     def aggregate_grads(self, grads: Sequence[np.ndarray]) -> np.ndarray:
@@ -47,6 +73,11 @@ class ParameterServer:
         which is exactly the divergence mechanism §III-C describes)."""
         self._check(grads)
         self.version += 1
+        if fastpath.is_enabled():
+            if self._agg is None or self._agg.shape != self._params.shape:
+                self._agg = np.empty_like(self._params)
+            mean_into(grads, out=self._agg)
+            return self._readonly(self._agg)
         return np.mean(np.stack(grads), axis=0)
 
     # -- asynchronous (SSP) interface ------------------------------------------

@@ -37,8 +37,28 @@ class SimWorker:
         self.loss_factory = loss_factory
         self.last_loss: float = float("nan")
         self.last_grad_sqnorm: float = float("nan")
+        self._prefetched: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- gradient computation ------------------------------------------------
+    def draw_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Pull the next mini-batch now; the following ``compute_gradient()``
+        consumes it.
+
+        Executors call this on the coordinating thread, in worker order,
+        before fanning the math out — loader RNG streams then advance
+        identically under every backend. Drawing twice without a consuming
+        ``compute_gradient`` is always a bug (a batch would be silently
+        skipped), so it raises.
+        """
+        if self._prefetched is not None:
+            raise RuntimeError(
+                f"worker {self.worker_id}: draw_batch() called with a "
+                "prefetched batch still pending; the previous batch was "
+                "never consumed by compute_gradient()"
+            )
+        self._prefetched = self.loader.next_batch()
+        return self._prefetched
+
     def compute_gradient(
         self, batch: Optional[Tuple[np.ndarray, np.ndarray]] = None
     ) -> float:
@@ -48,7 +68,20 @@ class SimWorker:
         Also records the squared L2 gradient norm, which the SelSync tracker
         consumes (Eqn. 2 works on ``||∇F||²``).
         """
-        x, y = self.loader.next_batch() if batch is None else batch
+        if batch is None:
+            if self._prefetched is not None:
+                x, y = self._prefetched
+                self._prefetched = None
+            else:
+                x, y = self.loader.next_batch()
+        else:
+            if self._prefetched is not None:
+                raise RuntimeError(
+                    f"worker {self.worker_id}: explicit batch passed while a "
+                    "prefetched batch is pending; one of them would be "
+                    "consumed twice or dropped"
+                )
+            x, y = batch
         self.model.train()
         self.model.zero_grad()
         loss = self.loss_factory()
@@ -72,14 +105,24 @@ class SimWorker:
         self.local_step(lr)
 
     # -- parameter views -------------------------------------------------------
-    def get_params(self) -> np.ndarray:
-        return self.model.get_flat_params()
+    def get_params(self, copy: bool = True) -> np.ndarray:
+        """Flat parameter vector.
+
+        Defaults to a private snapshot: most call sites stash the result
+        across later parameter writes (deploy/restore, EASGD's center), and
+        a live arena view would silently track those writes. Hot aggregation
+        paths that consume the vector immediately pass ``copy=False`` for
+        the O(1) read-only view.
+        """
+        return self.model.get_flat_params(copy=copy)
 
     def set_params(self, vec: np.ndarray) -> None:
         self.model.set_flat_params(vec)
 
-    def get_grads(self) -> np.ndarray:
-        return self.model.get_flat_grads()
+    def get_grads(self, copy: bool = False) -> np.ndarray:
+        """Flat gradient vector — read-only live view by default (gradients
+        are consumed immediately after compute, before the next backward)."""
+        return self.model.get_flat_grads(copy=copy)
 
     @property
     def epoch(self) -> float:

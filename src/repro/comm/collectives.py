@@ -9,13 +9,15 @@ clock explicitly.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.costmodel import allgather_bits_time, p2p_time
 from repro.comm.network import NetworkModel
 from repro.comm.topology import Topology, build_topology
+from repro.utils import fastpath
+from repro.utils.flatten import mean_into
 
 
 class SimGroup:
@@ -48,6 +50,8 @@ class SimGroup:
         self.bytes_synced: int = 0
         self.n_syncs: int = 0
         self.n_allgathers: int = 0
+        # Reusable allreduce output (fast path); sized on first use.
+        self._mean_buf: Optional[np.ndarray] = None
 
     # -- full-model synchronization ---------------------------------------
     def allreduce_mean(
@@ -67,7 +71,16 @@ class SimGroup:
         for v in vectors[1:]:
             if np.asarray(v).shape != first.shape:
                 raise ValueError("allreduce requires equally-shaped vectors")
-        mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
+        if fastpath.is_enabled():
+            # Average into a reusable buffer (bitwise-identical to the stack
+            # reduce below) and hand out a read-only view — callers consume
+            # the mean before the next collective.
+            if self._mean_buf is None or self._mean_buf.shape != first.shape:
+                self._mean_buf = np.empty(first.shape, dtype=np.float64)
+            mean = mean_into(vectors, out=self._mean_buf).view()
+            mean.flags.writeable = False
+        else:
+            mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
         payload = float(first.nbytes if nbytes is None else nbytes)
         t = self.topology.sync_time(payload, self.n_workers, self.net)
         self.bytes_synced += int(payload) * self.n_workers

@@ -42,7 +42,7 @@ class BSPTrainer(DistributedTrainer):
     def step(self, i: int) -> IterationRecord:
         batch = self.workers[0].loader.batch_size
         t_c = self.max_compute_time(batch)
-        losses = [w.compute_gradient() for w in self.workers]
+        losses = self.executor.compute_gradients(self.workers)
 
         if self._compressors is None:
             grads = [w.get_grads() for w in self.workers]

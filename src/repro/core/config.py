@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.cluster.compute import ComputeModel
+from repro.cluster.executor import EXECUTOR_KINDS, WorkerExecutor, make_executor
 from repro.comm.collectives import SimGroup
 from repro.comm.network import NetworkModel
 
@@ -46,6 +47,13 @@ class ClusterConfig:
     #: strictly sequential compute-then-communicate; 1 means communication
     #: can fully hide under compute.
     overlap_fraction: float = 0.0
+    #: Backend for the per-worker gradient phase: ``"serial"`` (reference)
+    #: or ``"threaded"`` (thread pool; byte-identical results, see
+    #: :mod:`repro.cluster.executor`).
+    executor: str = "serial"
+    #: Thread-pool width for the threaded executor; ``None`` sizes it to the
+    #: worker count. Ignored by the serial backend.
+    executor_threads: Optional[int] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -54,9 +62,20 @@ class ClusterConfig:
             raise ValueError(
                 f"overlap_fraction must be in [0, 1], got {self.overlap_fraction}"
             )
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.executor_threads is not None and self.executor_threads < 1:
+            raise ValueError(
+                f"executor_threads must be >= 1, got {self.executor_threads}"
+            )
 
     def make_group(self) -> SimGroup:
         return SimGroup(self.n_workers, net=self.net, topology=self.topology)
+
+    def make_executor(self) -> WorkerExecutor:
+        return make_executor(self.executor, threads=self.executor_threads)
 
     def make_compute(self) -> ComputeModel:
         return ComputeModel(

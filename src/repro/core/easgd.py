@@ -65,9 +65,8 @@ class EASGDTrainer(DistributedTrainer):
         batch = self.workers[0].loader.batch_size
         t_c = self.max_compute_time(batch)
         lr = self.lr(i)
-        losses = []
+        losses = self.executor.compute_gradients(self.workers)
         for w in self.workers:
-            losses.append(w.compute_gradient())
             w.local_step(lr)
 
         synced = (i + 1) % self.tau == 0
@@ -75,7 +74,9 @@ class EASGDTrainer(DistributedTrainer):
         if synced:
             diffs = []
             for w in self.workers:
-                p = w.get_params()
+                # Live view is safe: the subtraction materializes ``d``
+                # before ``set_params`` writes the buffer.
+                p = w.get_params(copy=False)
                 d = p - self.center
                 w.set_params(p - self.rho * d)
                 diffs.append(d)

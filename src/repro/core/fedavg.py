@@ -63,9 +63,8 @@ class FedAvgTrainer(DistributedTrainer):
         batch = self.workers[0].loader.batch_size
         t_c = self.max_compute_time(batch)
         lr = self.lr(i)
-        losses = []
+        losses = self.executor.compute_gradients(self.workers)
         for w in self.workers:
-            losses.append(w.compute_gradient())
             w.local_step(lr)
 
         synced = (i + 1) % self.sync_interval == 0
@@ -73,7 +72,7 @@ class FedAvgTrainer(DistributedTrainer):
         if synced:
             k = self.n_participants()
             chosen = self._rng.choice(len(self.workers), size=k, replace=False)
-            pushed = [self.workers[int(c)].get_params() for c in chosen]
+            pushed = [self.workers[int(c)].get_params(copy=False) for c in chosen]
             global_params = self.server.aggregate_params(pushed)
             # Aggregation involves the C-fraction; the pull-back reaches all.
             t_s = self._topology.sync_time(self.comm_bytes, k, self.cluster.net)

@@ -25,7 +25,9 @@ def _grad_at(model: Module, w: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.n
     out = model.forward(x)
     loss.forward(out, y)
     model.backward(loss.backward())
-    return model.get_flat_grads()
+    # Copy: the caller differences two of these, and the arena view would be
+    # overwritten by the second backward pass.
+    return model.get_flat_grads(copy=True)
 
 
 def hessian_vector_product(
@@ -40,7 +42,7 @@ def hessian_vector_product(
     The model's parameters are restored on exit. Evaluation mode is used so
     dropout/batch-norm sampling does not corrupt the finite difference.
     """
-    w0 = model.get_flat_params()
+    w0 = model.get_flat_params(copy=True)
     was_training = model.training
     model.eval()
     try:

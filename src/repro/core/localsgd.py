@@ -18,9 +18,8 @@ class LocalSGDTrainer(DistributedTrainer):
         batch = self.workers[0].loader.batch_size
         t_c = self.max_compute_time(batch)
         lr = self.lr(i)
-        losses = []
+        losses = self.executor.compute_gradients(self.workers)
         for w in self.workers:
-            losses.append(w.compute_gradient())
             w.local_step(lr)
         return IterationRecord(
             step=i,

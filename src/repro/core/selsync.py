@@ -117,11 +117,10 @@ class SelSyncTrainer(DistributedTrainer):
             else self.delta_policy.effective_delta(self, i)
         )
 
-        losses = []
+        losses = self.executor.compute_gradients(self.workers, batches)
         flags = []
         deltas = []
-        for w, tracker, batch in zip(self.workers, self.trackers, batches):
-            losses.append(w.compute_gradient(batch))
+        for w, tracker in zip(self.workers, self.trackers):
             d = tracker.update(w.last_grad_sqnorm)
             deltas.append(d)
             flags.append(1 if d >= threshold else 0)
@@ -140,7 +139,7 @@ class SelSyncTrainer(DistributedTrainer):
             if sync:
                 # ...then push w_{i+1} and pull the average (lines 14-15).
                 global_params = self.server.aggregate_params(
-                    [w.get_params() for w in self.workers]
+                    [w.get_params(copy=False) for w in self.workers]
                 )
                 t_s = self.group.charge_sync(self.comm_bytes)
                 for w in self.workers:

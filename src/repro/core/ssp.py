@@ -76,8 +76,8 @@ class SSPTrainer(DistributedTrainer):
         def start(worker_id: int, now: float) -> None:
             """Pull, compute, and schedule the push completion."""
             w = self.workers[worker_id]
-            w.set_params(self.server.pull())
-            w.compute_gradient()
+            w.set_params(self.server.pull(copy=False))
+            self.executor.compute_gradients([w])
             t_c = self.compute.sample_time(self.flops_per_sample, batch, worker_id)
             queue.push(now + t_c + comm_t, worker=worker_id)
 
@@ -175,8 +175,8 @@ class SSPTrainer(DistributedTrainer):
 
     def _eval_global(self, cfg: TrainConfig) -> float:
         w0 = self.workers[0]
-        saved = w0.get_params()
-        w0.set_params(self.server.pull())
+        saved = w0.get_params(copy=True)
+        w0.set_params(self.server.pull(copy=False))
         w0.model.eval()
         try:
             return float(cfg.eval_fn(w0.model))

@@ -17,6 +17,8 @@ from repro.cluster.server import ParameterServer
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
 from repro.optim.schedules import ConstantLR, LRSchedule
+from repro.utils import fastpath
+from repro.utils.flatten import mean_into
 from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
 
 
@@ -66,7 +68,8 @@ class DistributedTrainer:
         self.cluster = cluster
         self.group = cluster.make_group()
         self.compute = cluster.make_compute()
-        self.server = ParameterServer(workers[0].get_params())
+        self.executor = cluster.make_executor()
+        self.server = ParameterServer(workers[0].get_params(copy=False))
         self.schedule = schedule if schedule is not None else ConstantLR(0.01)
         model = workers[0].model
         self.comm_bytes = (
@@ -101,6 +104,10 @@ class DistributedTrainer:
         return max(0.0, t_s - self.cluster.overlap_fraction * t_c)
 
     def mean_params(self) -> np.ndarray:
+        if fastpath.is_enabled():
+            # Arena views in, fresh vector out — bitwise-identical to the
+            # stack reduce (see mean_into's contract).
+            return mean_into([w.get_params(copy=False) for w in self.workers])
         return np.mean(np.stack([w.get_params() for w in self.workers]), axis=0)
 
     def deploy_model(self):
@@ -109,9 +116,11 @@ class DistributedTrainer:
         For consistent-replica trainers this equals any worker's replica; for
         semi-synchronous ones it is the natural serving model. Worker 0's
         module is borrowed and restored by the caller via the returned token.
+        ``saved`` must be a snapshot, never a live view — the very next line
+        overwrites worker 0's buffer.
         """
         w0 = self.workers[0]
-        saved = w0.get_params()
+        saved = w0.get_params(copy=True)
         w0.set_params(self.mean_params())
         return w0.model, saved
 

@@ -236,7 +236,9 @@ def fig4_hessian_vs_gradient(
         loss = CrossEntropyLoss()
         loss.forward(model.forward(x), y)
         model.backward(loss.backward())
-        g = model.get_flat_grads()
+        # Copy: the Hessian power iteration below reruns backward passes,
+        # which would overwrite a live arena view before ``g @ g`` is read.
+        g = model.get_flat_grads(copy=True)
         if i % hessian_every == 0:
             lam, _ = hessian_top_eigenvalue(model, x, y, n_iters=8, rng=seed + i)
             steps.append(i)

@@ -1,0 +1,117 @@
+"""Contiguous parameter/gradient arenas backing a module's flat views.
+
+The trainers live on flat parameter and gradient vectors: every SelSync
+iteration reads ``||g||²``, every sync round pushes/pulls the whole model,
+and the optimizers walk all parameters. The seed implementation paid an
+O(P) concatenate for each of those. An arena allocates **one** contiguous
+float64 buffer for all parameter data and one for all gradients, and rebinds
+every ``Parameter.data`` / ``.grad`` to a view into its slice:
+
+    param_buf  [ conv1.w | conv1.b | conv2.w | ... ]   <- Parameter.data views
+    grad_buf   [ conv1.w | conv1.b | conv2.w | ... ]   <- Parameter.grad views
+
+After that:
+
+* ``Module.get_flat_params()`` / ``get_flat_grads()`` are O(1) — they return
+  a cached **read-only** view of the arena (mutating it raises; pass
+  ``copy=True`` when you need a vector that survives subsequent updates).
+* ``Module.set_flat_params(vec)`` is a single vectorized write into the
+  buffer, which every parameter view observes instantly.
+* ``Module.zero_grad()`` is one ``fill(0.0)``.
+
+Arenas are built lazily on first flat access and rebuilt automatically when
+they no longer cover the module (a parameter was registered afterwards, or
+the module was deep-copied, which detaches numpy views). Layers and
+optimizers are oblivious: they keep mutating ``p.data`` / ``p.grad`` in
+place, which is all they ever did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class ParameterArena:
+    """One contiguous data + grad buffer for a fixed list of parameters."""
+
+    __slots__ = (
+        "params",
+        "param_buf",
+        "grad_buf",
+        "_param_ids",
+        "_params_ro",
+        "_grads_ro",
+    )
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.params: List[Parameter] = list(params)
+        total = sum(int(p.data.size) for p in self.params)
+        self.param_buf = np.empty(total, dtype=np.float64)
+        self.grad_buf = np.empty(total, dtype=np.float64)
+        offset = 0
+        for p in self.params:
+            n = int(p.data.size)
+            sl = slice(offset, offset + n)
+            self.param_buf[sl] = p.data.ravel()
+            self.grad_buf[sl] = p.grad.ravel()
+            p.data = self.param_buf[sl].reshape(p.data.shape)
+            p.grad = self.grad_buf[sl].reshape(p.grad.shape)
+            offset += n
+        self._param_ids = tuple(id(p) for p in self.params)
+        self._params_ro = self.param_buf[:]
+        self._params_ro.flags.writeable = False
+        self._grads_ro = self.grad_buf[:]
+        self._grads_ro.flags.writeable = False
+
+    @property
+    def size(self) -> int:
+        return int(self.param_buf.size)
+
+    def covers(self, params: Sequence[Parameter]) -> bool:
+        """True when this arena still backs exactly ``params``.
+
+        Checks identity of the parameter list *and* that each ``.data`` /
+        ``.grad`` still aliases the arena buffers — a deep-copied module has
+        the same structure but detached arrays, and must get a fresh arena.
+        """
+        if tuple(id(p) for p in params) != self._param_ids:
+            return False
+        for p in self.params:
+            if p.data.base is not self.param_buf or p.grad.base is not self.grad_buf:
+                return False
+        return True
+
+    # -- flat access -------------------------------------------------------
+    def flat_params(self, copy: bool = False) -> np.ndarray:
+        """The whole parameter vector: read-only view, or a private copy."""
+        return self.param_buf.copy() if copy else self._params_ro
+
+    def flat_grads(self, copy: bool = False) -> np.ndarray:
+        return self.grad_buf.copy() if copy else self._grads_ro
+
+    def write_params(self, vec: np.ndarray) -> None:
+        """One vectorized write; all parameter views see it immediately."""
+        vec = np.asarray(vec)
+        if vec.size != self.param_buf.size:
+            raise ValueError(
+                f"flat vector has {vec.size} elements, arena holds "
+                f"{self.param_buf.size}"
+            )
+        # Writing the arena's own (read-only) view back is a legal no-op.
+        np.copyto(self.param_buf, vec.ravel())
+
+    def write_grads(self, vec: np.ndarray) -> None:
+        vec = np.asarray(vec)
+        if vec.size != self.grad_buf.size:
+            raise ValueError(
+                f"flat vector has {vec.size} elements, arena holds "
+                f"{self.grad_buf.size}"
+            )
+        np.copyto(self.grad_buf, vec.ravel())
+
+    def zero_grad(self) -> None:
+        self.grad_buf.fill(0.0)

@@ -80,12 +80,20 @@ def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out: np.ndarray = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold NCHW input into a (N*OH*OW, C*kh*kw) patch matrix.
 
     Returns the patch matrix together with the output spatial dims. Built
-    with stride tricks so no data is copied until the final reshape.
+    with stride tricks so no data is copied until the final materialization.
+    ``out`` (optional) receives the patches in place — callers that unfold
+    the same shape every step pass a preallocated workspace to keep the
+    largest allocation of the step out of the hot loop.
     """
     n, c, h, w = x.shape
     oh = conv_out_size(h, kh, stride, pad)
@@ -99,7 +107,16 @@ def im2col(
     strides = (sn, sc, sh * stride, sw * stride, sh, sw)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
     # (N, OH, OW, C, kh, kw) -> rows are output positions, cols are patch taps
-    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    view = patches.transpose(0, 2, 3, 1, 4, 5)
+    if out is not None:
+        if out.shape != (n * oh * ow, c * kh * kw):
+            raise ValueError(
+                f"im2col workspace has shape {out.shape}, "
+                f"need {(n * oh * ow, c * kh * kw)}"
+            )
+        np.copyto(out.reshape(n, oh, ow, c, kh, kw), view)
+        return out, oh, ow
+    cols = view.reshape(n * oh * ow, c * kh * kw)
     return np.ascontiguousarray(cols), oh, ow
 
 

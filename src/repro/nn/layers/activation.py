@@ -6,19 +6,44 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.utils import fastpath
 
 
 class ReLU(Module):
     def __init__(self):
         super().__init__()
         self._x: np.ndarray = np.zeros(0)
+        # (out, bool mask, dx) buffers reused while the input shape repeats.
+        self._ws = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        return F.relu(x)
+        if not fastpath.is_enabled():
+            # Drop the workspace so a later backward can't pair a stale
+            # fast-path output with this forward (flag toggles mid-run).
+            self._ws = None
+            return F.relu(x)
+        ws = self._ws
+        if ws is None or ws[0].shape != x.shape:
+            ws = (
+                np.empty(x.shape),
+                np.empty(x.shape, dtype=bool),
+                np.empty(x.shape),
+            )
+            self._ws = ws
+        np.maximum(x, 0.0, out=ws[0])
+        return ws[0]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.relu_grad(self._x, grad_out)
+        ws = self._ws
+        if ws is None or ws[0].shape != grad_out.shape:
+            return F.relu_grad(self._x, grad_out)
+        out, mask, dx = ws
+        # out > 0 iff x > 0 (x == 0 clips to 0 either way), and ``out`` is
+        # always contiguous while x may be a strided conv-workspace view.
+        np.greater(out, 0.0, out=mask)
+        np.multiply(grad_out, mask, out=dx)
+        return dx
 
 
 class GELU(Module):

@@ -21,6 +21,7 @@ from repro.nn.layers import (
 )
 from repro.nn.models.registry import MODELS
 from repro.nn.module import Module
+from repro.utils import fastpath
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -46,17 +47,29 @@ class SmallVGG(Module):
         r = spawn_rngs(rng, 6)
         spatial = image_size // 4  # two 2x2 pools
         flat = 2 * base * spatial * spatial
+
+        def pool_relu():
+            # maxpool(relu(x)) == relu(maxpool(x)) exactly (clipping at zero
+            # commutes with max, and the gradients agree in every case,
+            # including ties and all-negative windows). Pooling first runs
+            # ReLU on 4x fewer activations, so the fast path uses that
+            # order; the baseline keeps the textbook layout.
+            if fastpath.is_enabled():
+                return [MaxPool2d(2), ReLU()]
+            return [ReLU(), MaxPool2d(2)]
+
+        stem = Conv2d(in_channels, base, 3, padding=1, rng=r[0])
+        # The gradient w.r.t. the input images is never consumed.
+        stem.skip_input_grad = True
         self.net = Sequential(
-            Conv2d(in_channels, base, 3, padding=1, rng=r[0]),
+            stem,
             ReLU(),
             Conv2d(base, base, 3, padding=1, rng=r[1]),
-            ReLU(),
-            MaxPool2d(2),
+            *pool_relu(),
             Conv2d(base, 2 * base, 3, padding=1, rng=r[2]),
             ReLU(),
             Conv2d(2 * base, 2 * base, 3, padding=1, rng=r[3]),
-            ReLU(),
-            MaxPool2d(2),
+            *pool_relu(),
             Flatten(),
             Linear(flat, fc_width, rng=r[4]),
             ReLU(),

@@ -9,30 +9,41 @@ is verified against finite differences in the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.parameter import Parameter
+from repro.utils import fastpath
 from repro.utils.flatten import flatten_arrays, unflatten_like
 
 
 class Module:
     """Base module: parameter bookkeeping, train/eval mode, flat views."""
 
+    # Bumped on every parameter/module registration anywhere in the process.
+    # ``_ensure_arena`` caches its traversal against this counter, so the
+    # steady-state hot loop never re-walks the module tree: registrations
+    # only happen at model construction time.
+    _registry_version: int = 0
+
     def __init__(self):
         self._params: Dict[str, Parameter] = {}
         self._children: Dict[str, "Module"] = {}
+        self._arena = None  # lazily-built ParameterArena backing the flat views
+        self._arena_ver = -1  # _registry_version the arena was validated at
         self.training: bool = True
 
     # -- registration ------------------------------------------------------
     def register_parameter(self, name: str, param: Parameter) -> Parameter:
         param.name = name
         self._params[name] = param
+        Module._registry_version += 1
         return param
 
     def register_module(self, name: str, module: "Module") -> "Module":
         self._children[name] = module
+        Module._registry_version += 1
         return module
 
     def __setattr__(self, name, value):
@@ -41,9 +52,11 @@ class Module:
             self.__dict__.setdefault("_params", {})
             self._params[name] = value
             value.name = name
+            Module._registry_version += 1
         elif isinstance(value, Module):
             self.__dict__.setdefault("_children", {})
             self._children[name] = value
+            Module._registry_version += 1
         object.__setattr__(self, name, value)
 
     # -- traversal -----------------------------------------------------------
@@ -85,25 +98,76 @@ class Module:
 
     # -- gradients -------------------------------------------------------------
     def zero_grad(self) -> None:
+        arena = self._ensure_arena()
+        if arena is not None:
+            arena.zero_grad()
+            return
         for p in self.parameters():
             p.zero_grad()
 
     # -- flat parameter / gradient views --------------------------------------
-    def get_flat_params(self) -> np.ndarray:
-        """Concatenate all parameter data into one float64 vector (copy)."""
-        return flatten_arrays([p.data for p in self.parameters()])
+    def _ensure_arena(self) -> Optional["ParameterArena"]:
+        """The arena backing this module's flat views, building it on first
+        use and rebuilding when it no longer covers the parameter list
+        (late registration, deep copy). Returns ``None`` when the zero-copy
+        path is globally disabled (benchmark baseline mode)."""
+        if not fastpath.is_enabled():
+            return None
+        arena = self._arena
+        ver = Module._registry_version
+        if arena is not None and self._arena_ver == ver:
+            # Fast path: no registration happened anywhere since the last
+            # check, so the parameter list cannot have changed. A single
+            # aliasing probe still guards against deep copies, which detach
+            # every view at once without touching the registry.
+            if not arena.params or arena.params[0].data.base is arena.param_buf:
+                return arena
+        params = self.parameters()
+        if arena is None or not arena.covers(params):
+            from repro.nn.arena import ParameterArena
+
+            arena = ParameterArena(params)
+            self._arena = arena
+        self._arena_ver = ver
+        return arena
+
+    def get_flat_params(self, copy: bool = False) -> np.ndarray:
+        """All parameter data as one float64 vector.
+
+        Returns an O(1) **read-only view** of the parameter arena by default:
+        it reflects every subsequent update in place, and writing to it
+        raises. Pass ``copy=True`` for a private snapshot (needed whenever
+        the vector must survive later parameter writes, e.g. save/restore).
+        """
+        arena = self._ensure_arena()
+        if arena is None:
+            return flatten_arrays([p.data for p in self.parameters()])
+        return arena.flat_params(copy=copy)
 
     def set_flat_params(self, vec: np.ndarray) -> None:
         """Write a flat vector back into the parameters, in place."""
+        arena = self._ensure_arena()
+        if arena is not None:
+            arena.write_params(vec)
+            return
         params = self.parameters()
         chunks = unflatten_like(vec, [p.data for p in params])
         for p, c in zip(params, chunks):
             p.data[...] = c
 
-    def get_flat_grads(self) -> np.ndarray:
-        return flatten_arrays([p.grad for p in self.parameters()])
+    def get_flat_grads(self, copy: bool = False) -> np.ndarray:
+        """All gradients as one vector — read-only arena view unless
+        ``copy=True`` (same contract as :meth:`get_flat_params`)."""
+        arena = self._ensure_arena()
+        if arena is None:
+            return flatten_arrays([p.grad for p in self.parameters()])
+        return arena.flat_grads(copy=copy)
 
     def set_flat_grads(self, vec: np.ndarray) -> None:
+        arena = self._ensure_arena()
+        if arena is not None:
+            arena.write_grads(vec)
+            return
         params = self.parameters()
         chunks = unflatten_like(vec, [p.grad for p in params])
         for p, c in zip(params, chunks):

@@ -14,6 +14,13 @@ class Parameter:
     ``data`` in place. Gradients accumulate across ``backward`` calls until
     :meth:`zero_grad` — the same contract as mainstream frameworks, which the
     trainers rely on when replaying micro-batches.
+
+    ``data`` and ``grad`` start as standalone arrays; once the owning module
+    builds its :class:`~repro.nn.arena.ParameterArena`, both are rebound to
+    views into the arena's contiguous buffers. All mutation must therefore
+    stay in place (``+=``, ``[...] =``) — rebinding ``p.data`` to a new array
+    silently detaches the parameter from the arena (the module detects this
+    and rebuilds, but it costs a full re-pack).
     """
 
     __slots__ = ("data", "grad", "name", "requires_grad")

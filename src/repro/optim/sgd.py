@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -38,6 +38,52 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self.nesterov = nesterov
+        # Whole-model velocity used by the flat (arena) update path.
+        self._flat_velocity: Optional[np.ndarray] = None
+
+    def step(self) -> None:
+        """One update, vectorized over the whole parameter arena when the
+        module is arena-backed: a handful of ufunc calls on the contiguous
+        param/grad buffers instead of a Python loop over parameters. The
+        arithmetic is elementwise-identical to the per-parameter path."""
+        arena = self.module._ensure_arena()
+        if (
+            arena is None
+            or any(s for s in self._state)  # per-parameter slots in use
+            or not all(p.requires_grad for p in arena.params)
+        ):
+            self._spill_flat_state()
+            super().step()
+            return
+        p = arena.param_buf
+        g = arena.grad_buf
+        if self.weight_decay:
+            g = g + self.weight_decay * p
+        if self.momentum:
+            v = self._flat_velocity
+            if v is None:
+                v = self._flat_velocity = np.zeros_like(p)
+            v *= self.momentum
+            v += g
+            g = g + self.momentum * v if self.nesterov else v
+        p -= self.lr * g
+
+    def _spill_flat_state(self) -> None:
+        """Move flat velocity into per-parameter slots so momentum survives
+        a switch to the per-parameter path (e.g. fastpath turned off)."""
+        v = self._flat_velocity
+        if v is None:
+            return
+        self._flat_velocity = None
+        offset = 0
+        for p, state in zip(self.module.parameters(), self._state):
+            n = p.data.size
+            state["velocity"] = v[offset : offset + n].reshape(p.data.shape).copy()
+            offset += n
+
+    def reset_state(self) -> None:
+        self._flat_velocity = None
+        super().reset_state()
 
     def _update(self, p: Parameter, state: Dict[str, np.ndarray]) -> None:
         g = p.grad

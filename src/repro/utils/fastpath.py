@@ -1,0 +1,41 @@
+"""Global switch between the zero-copy hot path and the seed (copying) path.
+
+The arena-backed flat views (:mod:`repro.nn.arena`), the in-place parameter
+server aggregation and the in-place allreduce all consult this flag. It
+exists for exactly one reason: ``benchmarks/bench_hotpath.py`` measures the
+*seed* hot path (flatten-by-concatenate, ``np.stack`` aggregation) against
+the arena path on the same machine in the same process, so the speedup
+numbers in ``BENCH_hotpath.json`` are apples-to-apples.
+
+Production code never turns this off; both paths are numerically equivalent
+(the in-place mean accumulates sequentially while ``np.mean`` uses pairwise
+summation, so results may differ in the last ulp — never more).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_ENABLED = True
+
+
+def is_enabled() -> bool:
+    """True when the zero-copy fast paths are active (the default)."""
+    return _ENABLED
+
+
+def set_enabled(enabled: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def fastpath(enabled: bool):
+    """Temporarily force the fast path on or off (benchmark/test helper)."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = prev

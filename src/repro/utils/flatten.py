@@ -7,7 +7,7 @@ convert between the two without copying more than once.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +39,33 @@ def unflatten_like(
         n = int(t.size)
         out.append(vec[offset : offset + n].reshape(t.shape).astype(t.dtype, copy=False))
         offset += n
+    return out
+
+
+def mean_into(
+    vectors: Sequence[np.ndarray], out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Mean of equally-shaped vectors without materializing ``np.stack``.
+
+    Accumulates sequentially into ``out`` (allocated when ``None``), so the
+    peak footprint is one vector instead of N+1. ``out`` must not alias any
+    input after the first — the aggregation paths pass either a preallocated
+    server buffer or a fresh array, never a worker view.
+
+    Bitwise-identical to ``np.mean(np.stack(vectors), axis=0)``: an axis-0
+    reduce also accumulates row-by-row sequentially, and the final true
+    division matches ``np.mean``'s (a reciprocal-multiply would not).
+    """
+    if len(vectors) == 0:
+        raise ValueError("nothing to average")
+    first = np.asarray(vectors[0])
+    if out is None:
+        out = np.empty_like(first, dtype=np.float64)
+    np.copyto(out, first)
+    for v in vectors[1:]:
+        np.add(out, v, out=out)
+    if len(vectors) > 1:
+        np.divide(out, len(vectors), out=out)
     return out
 
 
