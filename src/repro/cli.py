@@ -71,6 +71,16 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         "--executor-threads", type=int, default=None,
         help="thread-pool width for --executor threaded (default: n_workers)",
     )
+    p.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help="inject faults, e.g. 'crash:w2@50-120,straggle:w0x4@30+,drop:p=0.05' "
+        "(see repro.cluster.faults)",
+    )
+    p.add_argument(
+        "--min-quorum", type=int, default=None,
+        help="min workers per aggregation round before QuorumLostError "
+        "(default: all workers)",
+    )
 
 
 def _add_method_args(p: argparse.ArgumentParser) -> None:
@@ -100,6 +110,8 @@ def _build(args, spec: MethodSpec):
         cluster_kwargs={
             "executor": args.executor,
             "executor_threads": args.executor_threads,
+            "fault_spec": getattr(args, "fault_spec", None),
+            "min_quorum": getattr(args, "min_quorum", None),
         },
     )
 
@@ -108,7 +120,11 @@ def cmd_run(args) -> int:
     spec = _method_spec(args)
     built = _build(args, spec)
     res = run_method(
-        spec, built, n_steps=args.steps, eval_every=args.eval_every
+        spec, built, n_steps=args.steps, eval_every=args.eval_every,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        resume_from=args.resume,
+        stop_after=args.stop_after,
     )
     rows = [
         ["method", spec.display],
@@ -119,6 +135,8 @@ def cmd_run(args) -> int:
         ["lssr", res.lssr],
         ["sim_time_s", round(res.sim_time, 2)],
     ]
+    if res.log.faults:
+        rows.append(["n_faults", res.log.n_faults])
     print(render_table(["field", "value"], rows))
     if args.save_log:
         save_runlog(res.log, args.save_log)
@@ -252,6 +270,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_run)
     _add_method_args(p_run)
     p_run.add_argument("--save-log", default=None, help="write run log JSONL here")
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="snapshot full trainer state every K steps (requires "
+        "--checkpoint-path)",
+    )
+    p_run.add_argument(
+        "--checkpoint-path", default=None, metavar="FILE",
+        help="checkpoint file, atomically overwritten at each snapshot",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume from a checkpoint; continuation is bitwise-identical "
+        "to an uninterrupted run",
+    )
+    p_run.add_argument(
+        "--stop-after", type=int, default=None, metavar="K",
+        help="simulate a crash: abort right after step K (keep all other "
+        "flags identical to the full run, then --resume the checkpoint)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare methods on a workload")

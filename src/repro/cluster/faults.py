@@ -1,0 +1,502 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's evaluation assumes perfectly reliable workers; real clusters do
+not cooperate. This module adds a seeded, fully deterministic fault model so
+every trainer can be exercised under crashes, stragglers, lossy links and
+corrupted gradients — and so the same faults replay identically under the
+serial and threaded executors (drop/corrupt draws are keyed on
+``(seed, worker, step)``, never on call order).
+
+Event taxonomy
+--------------
+``crash``
+    Worker ``w`` is down for steps ``[start, end)`` and rejoins at ``end``
+    (open-ended windows never rejoin). A down worker computes nothing,
+    contributes nothing to aggregation, and its loader/optimizer freeze.
+``straggle``
+    Worker ``w``'s compute time is multiplied by ``factor`` for every step
+    in the window; the same factor scales its upload-retry transfers, so a
+    slow worker also retransmits slowly.
+``drop``
+    Each gradient/parameter upload is lost with probability ``p``
+    (per-worker per-step Bernoulli). Lost uploads are retried with
+    exponential backoff charged to the cost model; after
+    :data:`MAX_UPLOAD_RETRIES` failures the update is abandoned for the
+    step and the worker is excluded from that aggregation round.
+``corrupt``
+    Worker ``w``'s gradient is overwritten with a NaN/inf burst in the
+    window. Degraded-mode trainers detect the poisoned update and reject
+    it rather than averaging it into the global model.
+
+Spec grammar
+------------
+One compact string shared by the CLI, the tests and the experiment runner::
+
+    spec    := clause ("," clause)*
+    clause  := "crash:w" ID window
+             | "straggle:w" ID "x" FACTOR window
+             | "corrupt:w" ID window
+             | "drop:" ["w" ID ":"] "p=" PROB [window]
+    window  := "@" START            (corrupt: one step; others: open-ended)
+             | "@" START "+"        (open-ended)
+             | "@" START "-" END    (half-open [START, END))
+
+Example: ``crash:w2@50-120,straggle:w0x4@30+,drop:p=0.05``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class QuorumLostError(RuntimeError):
+    """Raised when fewer workers than ``min_quorum`` can contribute to an
+    aggregation round — a loud failure instead of a silently wrong mean."""
+
+
+#: Abandon an upload after this many failed retries (the update is lost for
+#: the step and the worker drops out of that aggregation round).
+MAX_UPLOAD_RETRIES = 8
+
+#: First-retry backoff in simulated seconds; retry ``k`` waits ``base·2^k``.
+RETRY_BACKOFF_BASE_S = 0.05
+
+
+def retry_backoff_seconds(n_retries: int) -> float:
+    """Total exponential-backoff wait for ``n_retries`` failed attempts."""
+    if n_retries < 0:
+        raise ValueError(f"n_retries must be >= 0, got {n_retries}")
+    # base * (2^n - 1): geometric series of base·2^k for k in [0, n).
+    return RETRY_BACKOFF_BASE_S * (2.0**n_retries - 1.0)
+
+
+# -- fault clauses -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Worker ``worker`` is down for steps ``[start, end)``; ``end=None``
+    means it never rejoins."""
+
+    worker: int
+    start: int
+    end: Optional[int] = None
+
+    kind = "crash"
+
+    def covers(self, step: int) -> bool:
+        return step >= self.start and (self.end is None or step < self.end)
+
+    def to_spec(self) -> str:
+        return f"crash:w{self.worker}@{_window_str(self.start, self.end)}"
+
+
+@dataclass(frozen=True)
+class StraggleFault:
+    """Worker ``worker`` runs ``factor``× slower for steps ``[start, end)``."""
+
+    worker: int
+    factor: float
+    start: int
+    end: Optional[int] = None
+
+    kind = "straggle"
+
+    def covers(self, step: int) -> bool:
+        return step >= self.start and (self.end is None or step < self.end)
+
+    def to_spec(self) -> str:
+        return (
+            f"straggle:w{self.worker}x{_number_str(self.factor)}"
+            f"@{_window_str(self.start, self.end)}"
+        )
+
+
+@dataclass(frozen=True)
+class DropFault:
+    """Uploads are lost with probability ``p``; ``worker=None`` hits all."""
+
+    p: float
+    worker: Optional[int] = None
+    start: int = 0
+    end: Optional[int] = None
+
+    kind = "drop"
+
+    def covers(self, worker: int, step: int) -> bool:
+        if self.worker is not None and worker != self.worker:
+            return False
+        return step >= self.start and (self.end is None or step < self.end)
+
+    def to_spec(self) -> str:
+        prefix = "drop:" if self.worker is None else f"drop:w{self.worker}:"
+        s = f"{prefix}p={_number_str(self.p)}"
+        if self.start != 0 or self.end is not None:
+            s += f"@{_window_str(self.start, self.end)}"
+        return s
+
+
+@dataclass(frozen=True)
+class CorruptFault:
+    """Worker ``worker``'s gradient is NaN/inf-poisoned in ``[start, end)``."""
+
+    worker: int
+    start: int
+    end: int  # always bounded; a single-step burst has end = start + 1
+
+    kind = "corrupt"
+
+    def covers(self, step: int) -> bool:
+        return self.start <= step < self.end
+
+    def to_spec(self) -> str:
+        if self.end == self.start + 1:
+            return f"corrupt:w{self.worker}@{self.start}"
+        return f"corrupt:w{self.worker}@{self.start}-{self.end}"
+
+
+def _window_str(start: int, end: Optional[int]) -> str:
+    return f"{start}+" if end is None else f"{start}-{end}"
+
+
+def _number_str(x: float) -> str:
+    """Render a float compactly and canonically (4 → "4", 0.05 → "0.05")."""
+    f = float(x)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, canonically ordered collection of fault clauses."""
+
+    crashes: Tuple[CrashFault, ...] = ()
+    straggles: Tuple[StraggleFault, ...] = ()
+    drops: Tuple[DropFault, ...] = ()
+    corruptions: Tuple[CorruptFault, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crashes or self.straggles or self.drops or self.corruptions)
+
+    def to_spec(self) -> str:
+        """Canonical spec string: kinds in a fixed order, each kind sorted
+        by (worker, start). ``parse_fault_spec(plan.to_spec()) == plan``."""
+        clauses: List[str] = []
+        clauses += [c.to_spec() for c in sorted(self.crashes, key=lambda c: (c.worker, c.start))]
+        clauses += [s.to_spec() for s in sorted(self.straggles, key=lambda s: (s.worker, s.start))]
+        clauses += [
+            d.to_spec()
+            for d in sorted(self.drops, key=lambda d: (-1 if d.worker is None else d.worker, d.start))
+        ]
+        clauses += [c.to_spec() for c in sorted(self.corruptions, key=lambda c: (c.worker, c.start))]
+        return ",".join(clauses)
+
+    def max_worker(self) -> int:
+        """Highest worker id named anywhere in the plan (-1 if none)."""
+        ids = [c.worker for c in self.crashes]
+        ids += [s.worker for s in self.straggles]
+        ids += [d.worker for d in self.drops if d.worker is not None]
+        ids += [c.worker for c in self.corruptions]
+        return max(ids) if ids else -1
+
+    def validate(self, n_workers: int) -> None:
+        """Reject plans that name workers outside the cluster or would take
+        every worker down simultaneously forever (an unrunnable cluster)."""
+        hi = self.max_worker()
+        if hi >= n_workers:
+            raise ValueError(
+                f"fault plan names worker {hi} but the cluster has only "
+                f"{n_workers} workers (ids 0..{n_workers - 1})"
+            )
+
+
+_WINDOW_RE = re.compile(r"^(\d+)(\+|-(\d+))?$")
+
+
+def _parse_window(text: str, clause: str) -> Tuple[int, Optional[int], bool]:
+    """Return ``(start, end, explicit_open)``; ``end=None`` when bare/open."""
+    m = _WINDOW_RE.match(text)
+    if not m:
+        raise ValueError(f"bad fault window {text!r} in clause {clause!r}")
+    start = int(m.group(1))
+    if m.group(2) is None:
+        return start, None, False
+    if m.group(2) == "+":
+        return start, None, True
+    end = int(m.group(3))
+    if end <= start:
+        raise ValueError(
+            f"fault window must end after it starts, got {text!r} in {clause!r}"
+        )
+    return start, end, False
+
+
+_CRASH_RE = re.compile(r"^crash:w(\d+)@(.+)$")
+_STRAGGLE_RE = re.compile(r"^straggle:w(\d+)x([0-9.eE+-]+)@(.+)$")
+_CORRUPT_RE = re.compile(r"^corrupt:w(\d+)@(.+)$")
+_DROP_RE = re.compile(r"^drop:(?:w(\d+):)?p=([0-9.eE+-]+?)(?:@(.+))?$")
+
+
+def parse_fault_spec(spec: Optional[str]) -> FaultPlan:
+    """Parse the compact fault-spec grammar (module docstring) into a plan.
+
+    Empty/None specs yield an empty plan. Raises ``ValueError`` with the
+    offending clause on any syntax or range error.
+    """
+    if spec is None or not spec.strip():
+        return FaultPlan()
+    crashes: List[CrashFault] = []
+    straggles: List[StraggleFault] = []
+    drops: List[DropFault] = []
+    corruptions: List[CorruptFault] = []
+    for raw in spec.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        if clause.startswith("crash:"):
+            m = _CRASH_RE.match(clause)
+            if not m:
+                raise ValueError(f"bad crash clause {clause!r}")
+            start, end, _ = _parse_window(m.group(2), clause)
+            crashes.append(CrashFault(worker=int(m.group(1)), start=start, end=end))
+        elif clause.startswith("straggle:"):
+            m = _STRAGGLE_RE.match(clause)
+            if not m:
+                raise ValueError(f"bad straggle clause {clause!r}")
+            factor = float(m.group(2))
+            if factor <= 0:
+                raise ValueError(f"straggle factor must be > 0 in {clause!r}")
+            start, end, _ = _parse_window(m.group(3), clause)
+            straggles.append(
+                StraggleFault(worker=int(m.group(1)), factor=factor, start=start, end=end)
+            )
+        elif clause.startswith("corrupt:"):
+            m = _CORRUPT_RE.match(clause)
+            if not m:
+                raise ValueError(f"bad corrupt clause {clause!r}")
+            start, end, explicit_open = _parse_window(m.group(2), clause)
+            if end is None:
+                if explicit_open:
+                    raise ValueError(
+                        f"corrupt windows must be bounded (a permanent NaN "
+                        f"source is never aggregatable): {clause!r}"
+                    )
+                end = start + 1  # bare "@s": a one-step burst
+            corruptions.append(CorruptFault(worker=int(m.group(1)), start=start, end=end))
+        elif clause.startswith("drop:"):
+            m = _DROP_RE.match(clause)
+            if not m:
+                raise ValueError(f"bad drop clause {clause!r}")
+            p = float(m.group(2))
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"drop probability must be in (0, 1], got {clause!r}")
+            worker = None if m.group(1) is None else int(m.group(1))
+            if m.group(3) is None:
+                start, end = 0, None
+            else:
+                start, end, _ = _parse_window(m.group(3), clause)
+            drops.append(DropFault(p=p, worker=worker, start=start, end=end))
+        else:
+            raise ValueError(
+                f"unknown fault clause {clause!r}; expected one of "
+                "crash:/straggle:/drop:/corrupt:"
+            )
+    # Normalize clause order (same keys as ``to_spec``) so plans compare by
+    # content, not by the order the user happened to write clauses in —
+    # this is what makes ``parse(plan.to_spec()) == plan`` hold universally.
+    return FaultPlan(
+        crashes=tuple(sorted(crashes, key=lambda c: (c.worker, c.start))),
+        straggles=tuple(sorted(straggles, key=lambda s: (s.worker, s.start))),
+        drops=tuple(
+            sorted(drops, key=lambda d: (-1 if d.worker is None else d.worker, d.start))
+        ),
+        corruptions=tuple(sorted(corruptions, key=lambda c: (c.worker, c.start))),
+    )
+
+
+def canonical_fault_spec(spec: Optional[str]) -> str:
+    """Canonical form of a spec string (parse → re-emit)."""
+    return parse_fault_spec(spec).to_spec()
+
+
+# -- the injector ------------------------------------------------------------
+
+
+@dataclass
+class StepFaults:
+    """Fault transitions and state at one step, as seen by a trainer.
+
+    ``live`` is the list of worker ids that are up this step; ``crashed`` /
+    ``rejoined`` are the transitions that happened *at* this step (rejoined
+    workers are live and need their state restored); ``corrupted`` lists the
+    live workers whose gradient will be poisoned this step.
+    """
+
+    step: int
+    live: List[int]
+    crashed: List[int]
+    rejoined: List[int]
+    corrupted: List[int]
+
+
+class FaultInjector:
+    """Stateless-per-step fault oracle for one simulated cluster.
+
+    All queries are pure functions of ``(plan, seed, worker, step)``; the
+    injector holds no evolving state, so checkpoint/resume needs nothing
+    from it and serial/threaded executors see identical faults.
+    """
+
+    def __init__(self, plan: FaultPlan, n_workers: int, seed: int = 0):
+        plan.validate(n_workers)
+        self.plan = plan
+        self.n_workers = int(n_workers)
+        self.seed = int(seed)
+
+    @classmethod
+    def disabled(cls, n_workers: int) -> "FaultInjector":
+        return cls(FaultPlan(), n_workers)
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.empty
+
+    # -- liveness ---------------------------------------------------------
+    def is_down(self, worker: int, step: int) -> bool:
+        return any(c.worker == worker and c.covers(step) for c in self.plan.crashes)
+
+    def live_workers(self, step: int) -> List[int]:
+        return [w for w in range(self.n_workers) if not self.is_down(w, step)]
+
+    def begin_step(self, step: int) -> StepFaults:
+        """Liveness and transitions for ``step`` (pure; no state mutated)."""
+        live = self.live_workers(step)
+        crashed = [
+            c.worker
+            for c in self.plan.crashes
+            # is_down(w, -1) is False, so start-of-run crashes register too.
+            if c.start == step and not self.is_down(c.worker, step - 1)
+        ] if self.active else []
+        # A worker "rejoins" at the first step after a crash window where it
+        # is up again (adjacent windows merge into one outage).
+        rejoined = [
+            c.worker
+            for c in self.plan.crashes
+            if c.end == step and not self.is_down(c.worker, step)
+        ] if self.active else []
+        corrupted = [
+            c.worker
+            for c in self.plan.corruptions
+            if c.covers(step) and c.worker in live
+        ] if self.active else []
+        # Dedup while preserving order (overlapping clauses for one worker).
+        crashed = list(dict.fromkeys(crashed))
+        rejoined = list(dict.fromkeys(rejoined))
+        corrupted = list(dict.fromkeys(corrupted))
+        return StepFaults(
+            step=step, live=live, crashed=crashed,
+            rejoined=rejoined, corrupted=corrupted,
+        )
+
+    # -- stragglers -------------------------------------------------------
+    def straggle_factor(self, worker: int, step: int) -> float:
+        """Combined multiplicative slowdown for ``worker`` at ``step``
+        (overlapping straggle windows multiply)."""
+        f = 1.0
+        for s in self.plan.straggles:
+            if s.worker == worker and s.covers(step):
+                f *= s.factor
+        return f
+
+    # -- lossy uploads ----------------------------------------------------
+    def _event_rng(self, worker: int, step: int, salt: int) -> np.random.Generator:
+        # Keyed on (seed, worker, step): identical draws no matter which
+        # thread, executor or call order asks.
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, worker, step, salt])
+        )
+
+    def upload_retries(self, worker: int, step: int) -> Tuple[int, bool]:
+        """Number of failed upload attempts before success, and whether the
+        update was abandoned (``retries == MAX_UPLOAD_RETRIES``).
+
+        Deterministic per ``(seed, worker, step)``. With no matching drop
+        clause this is ``(0, False)`` without consuming any randomness.
+        """
+        p = 0.0
+        for d in self.plan.drops:
+            if d.covers(worker, step):
+                # Independent loss channels compose: 1 - Π(1 - p_i).
+                p = 1.0 - (1.0 - p) * (1.0 - d.p)
+        if p <= 0.0:
+            return 0, False
+        rng = self._event_rng(worker, step, salt=0xD0)
+        retries = 0
+        while retries < MAX_UPLOAD_RETRIES and rng.random() < p:
+            retries += 1
+        return retries, retries >= MAX_UPLOAD_RETRIES
+
+    def upload_penalty_seconds(
+        self, worker: int, step: int, transfer_s: float
+    ) -> Tuple[float, int, bool]:
+        """Simulated extra seconds for this worker's upload at this step.
+
+        Returns ``(extra_seconds, retries, lost)``. Each failed attempt
+        costs one (straggle-scaled) retransfer plus exponential backoff;
+        an abandoned upload still pays for every attempt it made.
+        """
+        retries, lost = self.upload_retries(worker, step)
+        if retries == 0:
+            return 0.0, 0, False
+        scaled = transfer_s * self.straggle_factor(worker, step)
+        return retries * scaled + retry_backoff_seconds(retries), retries, lost
+
+    # -- corruption -------------------------------------------------------
+    def corrupts(self, worker: int, step: int) -> bool:
+        return any(
+            c.worker == worker and c.covers(step) for c in self.plan.corruptions
+        )
+
+    def corrupt_gradient(self, worker: int, step: int, grad: np.ndarray) -> np.ndarray:
+        """Return a NaN/inf-poisoned copy of ``grad`` (deterministic burst:
+        ~1% of entries NaN, one entry ±inf)."""
+        rng = self._event_rng(worker, step, salt=0xC0)
+        out = np.array(grad, dtype=np.float64, copy=True)
+        n = out.size
+        k = max(1, n // 100)
+        idx = rng.choice(n, size=min(k, n), replace=False)
+        out.flat[idx] = np.nan
+        out.flat[int(rng.integers(0, n))] = np.inf if rng.random() < 0.5 else -np.inf
+        return out
+
+    # -- introspection ----------------------------------------------------
+    def event_trace(self, n_steps: int) -> List[Tuple]:
+        """Flat, ordered list of every event the plan injects in
+        ``[0, n_steps)`` — the property-test surface for determinism.
+        """
+        trace: List[Tuple] = []
+        for step in range(n_steps):
+            sf = self.begin_step(step)
+            for w in sf.crashed:
+                trace.append(("crash", step, w))
+            for w in sf.rejoined:
+                trace.append(("rejoin", step, w))
+            for w in sf.live:
+                f = self.straggle_factor(w, step)
+                if f != 1.0:
+                    trace.append(("straggle", step, w, f))
+                retries, lost = self.upload_retries(w, step)
+                if retries:
+                    trace.append(("drop", step, w, retries, lost))
+            for w in sf.corrupted:
+                trace.append(("corrupt", step, w))
+        return trace

@@ -103,3 +103,18 @@ class ParameterServer:
                 raise ValueError(
                     f"vector shape {v.shape} != params {self._params.shape}"
                 )
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"params": self._params.copy(), "version": self.version}
+
+    def load_state_dict(self, state: dict) -> None:
+        params = np.asarray(state["params"], dtype=np.float64)
+        if params.shape != self._params.shape:
+            raise ValueError(
+                f"server state mismatch: checkpoint params {params.shape} "
+                f"vs {self._params.shape}"
+            )
+        self._params = params.copy()
+        self._agg = None
+        self.version = int(state["version"])

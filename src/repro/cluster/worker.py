@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -127,6 +127,84 @@ class SimWorker:
     @property
     def epoch(self) -> float:
         return self.loader.fractional_epoch
+
+    # -- checkpointing ----------------------------------------------------
+    def _rng_modules(self):
+        """Submodules owning an RNG stream (dropout layers), in stable
+        traversal order. Their states must be checkpointed for bitwise
+        resume: a training forward pass consumes dropout randomness."""
+        return [
+            m
+            for m in self.model.modules()
+            if isinstance(getattr(m, "rng", None), np.random.Generator)
+        ]
+
+    def _buffer_modules(self):
+        """Submodules with non-parameter buffers (BatchNorm running stats),
+        in stable traversal order. The flat parameter vector excludes them,
+        yet eval-mode forward passes read them — without these a resumed
+        model trains identically but *evaluates* differently."""
+        return [
+            m
+            for m in self.model.modules()
+            if isinstance(getattr(m, "running_mean", None), np.ndarray)
+        ]
+
+    def state_dict(self) -> Dict:
+        """Full per-rank snapshot: parameters, optimizer slots, loader
+        position/RNG and model-internal RNG streams.
+
+        Must be taken at a step boundary — a pending prefetched batch would
+        be silently dropped on restore, skewing the data stream.
+        """
+        if self._prefetched is not None:
+            raise RuntimeError(
+                f"worker {self.worker_id}: state_dict() with a prefetched "
+                "batch pending; checkpoint only at step boundaries"
+            )
+        return {
+            "worker_id": self.worker_id,
+            "params": self.get_params(copy=True),
+            "optimizer": self.optimizer.state_dict(),
+            "loader": self.loader.state_dict(),
+            "model_rngs": [m.rng.bit_generator.state for m in self._rng_modules()],
+            "model_buffers": [
+                {
+                    "running_mean": m.running_mean.copy(),
+                    "running_var": m.running_var.copy(),
+                }
+                for m in self._buffer_modules()
+            ],
+            "last_loss": self.last_loss,
+            "last_grad_sqnorm": self.last_grad_sqnorm,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        rng_modules = self._rng_modules()
+        if len(state["model_rngs"]) != len(rng_modules):
+            raise ValueError(
+                f"worker {self.worker_id}: checkpoint has "
+                f"{len(state['model_rngs'])} model RNG streams, the model "
+                f"has {len(rng_modules)}"
+            )
+        buffer_modules = self._buffer_modules()
+        if len(state["model_buffers"]) != len(buffer_modules):
+            raise ValueError(
+                f"worker {self.worker_id}: checkpoint has "
+                f"{len(state['model_buffers'])} buffered modules, the model "
+                f"has {len(buffer_modules)}"
+            )
+        for m, buf in zip(buffer_modules, state["model_buffers"]):
+            m.running_mean = np.asarray(buf["running_mean"], dtype=np.float64).copy()
+            m.running_var = np.asarray(buf["running_var"], dtype=np.float64).copy()
+        self.set_params(np.asarray(state["params"]))
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.loader.load_state_dict(state["loader"])
+        for m, rng_state in zip(rng_modules, state["model_rngs"]):
+            m.rng.bit_generator.state = rng_state
+        self.last_loss = float(state["last_loss"])
+        self.last_grad_sqnorm = float(state["last_grad_sqnorm"])
+        self._prefetched = None
 
 
 def build_worker_group(

@@ -55,17 +55,31 @@ class SimGroup:
 
     # -- full-model synchronization ---------------------------------------
     def allreduce_mean(
-        self, vectors: Sequence[np.ndarray], nbytes: float = None
+        self,
+        vectors: Sequence[np.ndarray],
+        nbytes: float = None,
+        n_live: Optional[int] = None,
     ) -> Tuple[np.ndarray, float]:
         """Average one flat vector per rank; returns (mean, sim_seconds).
 
         ``nbytes`` overrides the payload size for timing (the experiment
         harness passes the *paper-scale* model size here so Fig. 1a's
         507 MB VGG11 behaviour reproduces with a small in-memory analog).
+
+        ``n_live`` opts in to a degraded round over a survivor subset: the
+        mean is over ``n_live`` vectors and the sync is charged for
+        ``n_live`` ranks. Without it a short vector list is an error —
+        silently averaging fewer replicas than the group has is exactly
+        the wrong-answer mode the fault model exists to make loud.
         """
-        if len(vectors) != self.n_workers:
+        expected = self.n_workers if n_live is None else int(n_live)
+        if n_live is not None and not 1 <= expected <= self.n_workers:
             raise ValueError(
-                f"expected {self.n_workers} vectors, got {len(vectors)}"
+                f"n_live must be in [1, {self.n_workers}], got {n_live}"
+            )
+        if len(vectors) != expected:
+            raise ValueError(
+                f"expected {expected} vectors, got {len(vectors)}"
             )
         first = np.asarray(vectors[0])
         for v in vectors[1:]:
@@ -82,22 +96,26 @@ class SimGroup:
         else:
             mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
         payload = float(first.nbytes if nbytes is None else nbytes)
-        t = self.topology.sync_time(payload, self.n_workers, self.net)
-        self.bytes_synced += int(payload) * self.n_workers
+        t = self.topology.sync_time(payload, expected, self.net)
+        self.bytes_synced += int(payload) * expected
         self.n_syncs += 1
         return mean, t
 
-    def charge_sync(self, nbytes: float) -> float:
+    def charge_sync(self, nbytes: float, n_live: Optional[int] = None) -> float:
         """Account one full-model sync round and return its simulated time.
 
         For callers that perform the aggregation arithmetic elsewhere (e.g.
         through the :class:`~repro.cluster.server.ParameterServer`) and only
-        need the clock charged once.
+        need the clock charged once. ``n_live`` charges a degraded round
+        over a survivor subset instead of the full group.
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        t = self.topology.sync_time(float(nbytes), self.n_workers, self.net)
-        self.bytes_synced += int(nbytes) * self.n_workers
+        ranks = self.n_workers if n_live is None else int(n_live)
+        if not 1 <= ranks <= self.n_workers:
+            raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
+        t = self.topology.sync_time(float(nbytes), ranks, self.net)
+        self.bytes_synced += int(nbytes) * ranks
         self.n_syncs += 1
         return t
 
@@ -125,3 +143,17 @@ class SimGroup:
     def p2p(self, payload_nbytes: float) -> float:
         """Timing for one point-to-point transfer (data injection)."""
         return p2p_time(payload_nbytes, self.net)
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Traffic counters (the only mutable state besides scratch)."""
+        return {
+            "bytes_synced": self.bytes_synced,
+            "n_syncs": self.n_syncs,
+            "n_allgathers": self.n_allgathers,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.bytes_synced = int(state["bytes_synced"])
+        self.n_syncs = int(state["n_syncs"])
+        self.n_allgathers = int(state["n_allgathers"])

@@ -27,6 +27,13 @@ class DeltaPolicy:
     def effective_delta(self, trainer: "SelSyncTrainer", step: int) -> float:
         raise NotImplementedError
 
+    # Stateless policies checkpoint as nothing; stateful ones override both.
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
 
 class FixedDelta(DeltaPolicy):
     """The paper's pre-launch constant δ."""
@@ -112,3 +119,11 @@ class TargetLSSRDelta(DeltaPolicy):
         if step < self.warmup:
             return 0.0
         return self.delta
+
+    def state_dict(self) -> dict:
+        return {"delta": self.delta, "local": self._local, "total": self._total}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.delta = float(state["delta"])
+        self._local = int(state["local"])
+        self._total = int(state["total"])

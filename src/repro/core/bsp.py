@@ -39,30 +39,60 @@ class BSPTrainer(DistributedTrainer):
             # Per-worker clones so error-feedback state stays rank-local.
             self._compressors = [compressor.clone() for _ in workers]
 
+    def _extra_state(self):
+        if self._compressors is None:
+            return {}
+        return {"compressors": [c.state_dict() for c in self._compressors]}
+
+    def _load_extra_state(self, state):
+        if self._compressors is not None:
+            for c, s in zip(self._compressors, state["compressors"]):
+                c.load_state_dict(s)
+
     def step(self, i: int) -> IterationRecord:
+        sf = self.begin_faults(i)
+        degraded = self.faults.active
+        live = sf.live
+        live_workers = [self.workers[w] for w in live]
+
         batch = self.workers[0].loader.batch_size
-        t_c = self.max_compute_time(batch)
-        losses = self.executor.compute_gradients(self.workers)
+        t_c = self.max_compute_time(batch, step=i, live=live)
+        losses = self.executor.compute_gradients(live_workers)
+
+        # Live workers whose gradient survived corruption push this round;
+        # workers whose upload is abandoned after retries drop out too.
+        pushers = self.apply_corruption(sf)
+        t_retry, lost = self.upload_penalty(pushers, i)
+        if lost:
+            lost_set = set(lost)
+            pushers = [w for w in pushers if w not in lost_set]
+        self.check_quorum(len(pushers), i)
 
         if self._compressors is None:
-            grads = [w.get_grads() for w in self.workers]
+            grads = [self.workers[w].get_grads() for w in pushers]
             payload = self.comm_bytes
             overhead = 0.0
         else:
             grads, payloads, overheads = [], [], []
             scale = self.comm_bytes / max(1.0, float(self.workers[0].model.nbytes))
-            for w, comp in zip(self.workers, self._compressors):
-                msg = comp.compress(w.get_grads())
+            for wid in pushers:
+                comp = self._compressors[wid]
+                msg = comp.compress(self.workers[wid].get_grads())
                 grads.append(comp.decompress(msg))
                 payloads.append(msg.nbytes * scale)
                 overheads.append(comp.overhead_seconds)
             payload = float(np.mean(payloads))
             overhead = float(np.max(overheads))
 
-        mean_grad, t_s = self.group.allreduce_mean(grads, nbytes=payload)
-        t_s = self.effective_sync_time(t_s, t_c)
+        mean_grad, t_s = self.group.allreduce_mean(
+            grads, nbytes=payload, n_live=len(pushers) if degraded else None
+        )
+        # Retry traffic serializes after the sync (it cannot overlap compute).
+        t_s = self.effective_sync_time(t_s, t_c) + t_retry
         lr = self.lr(i)
-        for w in self.workers:
+        # Every *live* worker applies the mean — a corrupted or upload-lost
+        # worker still receives the pull, which heals its replica.
+        for w in live_workers:
             w.apply_gradient(mean_grad, lr)
         return IterationRecord(
             step=i,

@@ -72,6 +72,14 @@ class Compressor:
         msg = self._encode(np.ones(n_elements))
         return dense / max(1, msg.nbytes)
 
+    # checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Error-feedback residual — the only state that evolves per step."""
+        return {"residual": self._residual.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._residual = np.asarray(state["residual"], dtype=np.float64).copy()
+
     # subclass hooks ------------------------------------------------------
     def _encode(self, grad: np.ndarray) -> CompressedMessage:
         raise NotImplementedError

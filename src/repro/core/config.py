@@ -7,6 +7,7 @@ from typing import Callable, Optional
 
 from repro.cluster.compute import ComputeModel
 from repro.cluster.executor import EXECUTOR_KINDS, WorkerExecutor, make_executor
+from repro.cluster.faults import FaultInjector, parse_fault_spec
 from repro.comm.collectives import SimGroup
 from repro.comm.network import NetworkModel
 
@@ -54,6 +55,18 @@ class ClusterConfig:
     #: Thread-pool width for the threaded executor; ``None`` sizes it to the
     #: worker count. Ignored by the serial backend.
     executor_threads: Optional[int] = None
+    #: Fault-injection spec (see :mod:`repro.cluster.faults`), e.g.
+    #: ``"crash:w2@50-120,straggle:w0x4@30+,drop:p=0.05"``. ``None``/empty
+    #: disables injection — the simulation is then bitwise-identical to a
+    #: cluster without the fault subsystem.
+    fault_spec: Optional[str] = None
+    #: Minimum number of workers that must contribute to an aggregation
+    #: round; dropping below it raises
+    #: :class:`~repro.cluster.faults.QuorumLostError` instead of silently
+    #: averaging a partial mean. ``None`` means *all* workers (any loss of
+    #: a contribution is loud); set lower to opt in to degraded-mode
+    #: aggregation over the live subset.
+    min_quorum: Optional[int] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -70,6 +83,23 @@ class ClusterConfig:
             raise ValueError(
                 f"executor_threads must be >= 1, got {self.executor_threads}"
             )
+        # Parse eagerly so a bad spec fails at configuration time, not at
+        # step 50 of a long run; worker ids are range-checked too.
+        parse_fault_spec(self.fault_spec).validate(self.n_workers)
+        if self.min_quorum is not None and not 1 <= self.min_quorum <= self.n_workers:
+            raise ValueError(
+                f"min_quorum must be in [1, {self.n_workers}], got {self.min_quorum}"
+            )
+
+    @property
+    def effective_quorum(self) -> int:
+        """Quorum actually enforced: ``min_quorum`` or all workers."""
+        return self.n_workers if self.min_quorum is None else self.min_quorum
+
+    def make_fault_injector(self) -> FaultInjector:
+        return FaultInjector(
+            parse_fault_spec(self.fault_spec), self.n_workers, seed=self.seed
+        )
 
     def make_group(self) -> SimGroup:
         return SimGroup(self.n_workers, net=self.net, topology=self.topology)
@@ -107,6 +137,22 @@ class TrainConfig:
         protocol for Table I.
     min_improvement:
         Smallest metric delta that counts as progress for the patience rule.
+    checkpoint_every / checkpoint_path:
+        Snapshot the full trainer state (global params, per-worker
+        optimizer + loader RNG state, tracker state, step counter, run log)
+        every this many steps into ``checkpoint_path``. The file is written
+        atomically and overwritten each time (it is a resume point, not an
+        archive).
+    resume_from:
+        Path of a checkpoint to restore before training; the run continues
+        from the saved step and is bitwise-identical to one that was never
+        interrupted.
+    stop_after:
+        Deterministic kill simulation: abort the run right after this many
+        steps (post-checkpoint, without the final-step evaluation), as if
+        the process died there. Everything else — LR schedule, data order,
+        jitter stream — is configured exactly as the full run, which is
+        what makes a later ``resume_from`` continuation bitwise-identical.
     """
 
     n_steps: int = 200
@@ -115,6 +161,10 @@ class TrainConfig:
     higher_is_better: bool = True
     patience: Optional[int] = None
     min_improvement: float = 1e-4
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    resume_from: Optional[str] = None
+    stop_after: Optional[int] = None
 
     def __post_init__(self):
         if self.n_steps < 1:
@@ -123,3 +173,11 @@ class TrainConfig:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
         if self.patience is not None and self.patience < 1:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.stop_after is not None and self.stop_after < 1:
+            raise ValueError(f"stop_after must be >= 1, got {self.stop_after}")

@@ -62,18 +62,32 @@ class EASGDTrainer(DistributedTrainer):
         self.center = workers[0].get_params()
 
     def step(self, i: int) -> IterationRecord:
+        sf = self.begin_faults(i)
+        degraded = self.faults.active
+        live = sf.live
+
         batch = self.workers[0].loader.batch_size
-        t_c = self.max_compute_time(batch)
+        t_c = self.max_compute_time(batch, step=i, live=live)
         lr = self.lr(i)
-        losses = self.executor.compute_gradients(self.workers)
-        for w in self.workers:
-            w.local_step(lr)
+        losses = self.executor.compute_gradients([self.workers[w] for w in live])
+        # Corrupted gradients are dropped, not applied (the worker loses
+        # one local step but stays elastically coupled).
+        stepping = set(self.apply_corruption(sf))
+        for wid in live:
+            if wid in stepping:
+                self.workers[wid].local_step(lr)
 
         synced = (i + 1) % self.tau == 0
         t_s = 0.0
         if synced:
+            # The elastic exchange is symmetric: a worker whose push is
+            # lost neither moves the center nor is pulled toward it.
+            t_retry, lost = self.upload_penalty(live, i)
+            exchangers = [w for w in live if w not in set(lost)]
+            self.check_quorum(len(exchangers), i)
             diffs = []
-            for w in self.workers:
+            for wid in exchangers:
+                w = self.workers[wid]
                 # Live view is safe: the subtraction materializes ``d``
                 # before ``set_params`` writes the buffer.
                 p = w.get_params(copy=False)
@@ -82,8 +96,12 @@ class EASGDTrainer(DistributedTrainer):
                 diffs.append(d)
             self.center = self.center + self.rho * np.sum(diffs, axis=0)
             t_s = self.effective_sync_time(
-                self.group.charge_sync(self.comm_bytes), t_c
-            )
+                self.group.charge_sync(
+                    self.comm_bytes,
+                    n_live=len(exchangers) if degraded else None,
+                ),
+                t_c,
+            ) + t_retry
         return IterationRecord(
             step=i,
             synced=synced,
@@ -95,3 +113,9 @@ class EASGDTrainer(DistributedTrainer):
     def mean_params(self) -> np.ndarray:
         """EASGD's deployable model is the center variable."""
         return self.center.copy()
+
+    def _extra_state(self):
+        return {"center": self.center.copy()}
+
+    def _load_extra_state(self, state):
+        self.center = np.asarray(state["center"], dtype=np.float64).copy()

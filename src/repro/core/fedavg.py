@@ -60,29 +60,65 @@ class FedAvgTrainer(DistributedTrainer):
         return max(1, int(np.ceil(self.c_fraction * len(self.workers))))
 
     def step(self, i: int) -> IterationRecord:
+        sf = self.begin_faults(i)
+        degraded = self.faults.active
+        live = sf.live
+        live_workers = [self.workers[w] for w in live]
+
         batch = self.workers[0].loader.batch_size
-        t_c = self.max_compute_time(batch)
+        t_c = self.max_compute_time(batch, step=i, live=live)
         lr = self.lr(i)
-        losses = self.executor.compute_gradients(self.workers)
-        for w in self.workers:
-            w.local_step(lr)
+        losses = self.executor.compute_gradients(live_workers)
+        # A corrupted gradient must not land on the replica FedAvg will
+        # later average in; that worker skips this local step.
+        stepping = set(self.apply_corruption(sf))
+        for wid in live:
+            if wid in stepping:
+                self.workers[wid].local_step(lr)
 
         synced = (i + 1) % self.sync_interval == 0
         t_s = 0.0
         if synced:
             k = self.n_participants()
-            chosen = self._rng.choice(len(self.workers), size=k, replace=False)
-            pushed = [self.workers[int(c)].get_params(copy=False) for c in chosen]
+            if degraded:
+                # Sample the C-fraction from the live pool. The quorum is
+                # capped at the planned participant count: a C=0.25 round
+                # never involves more than k workers, so demanding more
+                # than k contributors would always fail.
+                quorum_k = min(self.quorum, k)
+                pool = sorted(stepping)
+                k = min(k, len(pool))
+                if k < quorum_k:
+                    self.check_quorum(k, i)
+                chosen = [
+                    pool[int(c)]
+                    for c in self._rng.choice(len(pool), size=k, replace=False)
+                ]
+                t_retry, lost = self.upload_penalty(chosen, i)
+                if lost:
+                    chosen = [w for w in chosen if w not in set(lost)]
+                if len(chosen) < quorum_k:
+                    self.check_quorum(len(chosen), i)
+            else:
+                chosen = [
+                    int(c)
+                    for c in self._rng.choice(len(self.workers), size=k, replace=False)
+                ]
+                t_retry = 0.0
+            pushed = [self.workers[c].get_params(copy=False) for c in chosen]
             global_params = self.server.aggregate_params(pushed)
-            # Aggregation involves the C-fraction; the pull-back reaches all.
-            t_s = self._topology.sync_time(self.comm_bytes, k, self.cluster.net)
-            if k < len(self.workers):
+            # Aggregation involves the C-fraction; the pull-back reaches all
+            # (live) workers.
+            t_s = self._topology.sync_time(
+                self.comm_bytes, len(chosen), self.cluster.net
+            )
+            if len(chosen) < len(self.workers):
                 t_s += self._topology.sync_time(
                     self.comm_bytes, len(self.workers), self.cluster.net
                 ) / 2.0
-            for w in self.workers:
+            for w in live_workers:
                 w.set_params(global_params)
-            t_s = self.effective_sync_time(t_s, t_c)
+            t_s = self.effective_sync_time(t_s, t_c) + t_retry
         return IterationRecord(
             step=i,
             synced=synced,
@@ -90,3 +126,9 @@ class FedAvgTrainer(DistributedTrainer):
             comm_time=t_s,
             loss=float(np.mean(losses)),
         )
+
+    def _extra_state(self):
+        return {"rng": self._rng.bit_generator.state}
+
+    def _load_extra_state(self, state):
+        self._rng.bit_generator.state = state["rng"]

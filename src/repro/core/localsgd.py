@@ -15,12 +15,18 @@ class LocalSGDTrainer(DistributedTrainer):
     name = "localsgd"
 
     def step(self, i: int) -> IterationRecord:
+        sf = self.begin_faults(i)
+        live = sf.live
         batch = self.workers[0].loader.batch_size
-        t_c = self.max_compute_time(batch)
+        t_c = self.max_compute_time(batch, step=i, live=live)
         lr = self.lr(i)
-        losses = self.executor.compute_gradients(self.workers)
-        for w in self.workers:
-            w.local_step(lr)
+        losses = self.executor.compute_gradients([self.workers[w] for w in live])
+        # No communication, so no healing pull exists: a corrupted gradient
+        # is simply dropped and that worker loses the step.
+        stepping = set(self.apply_corruption(sf))
+        for wid in live:
+            if wid in stepping:
+                self.workers[wid].local_step(lr)
         return IterationRecord(
             step=i,
             synced=False,

@@ -96,34 +96,51 @@ class SelSyncTrainer(DistributedTrainer):
         """Cluster-wide extremum M of Δ(g_i) (Fig. 6's upper bound)."""
         return max(t.max_delta for t in self.trackers)
 
-    def _gather_batches(self):
-        """Next mini-batch per worker, with optional data injection."""
-        batches = [w.loader.next_batch() for w in self.workers]
+    def _gather_batches(self, live=None):
+        """Next mini-batch per live worker, with optional data injection.
+
+        Injection requires the full worker set (the P2P plan is built for N
+        ranks), so it is skipped on degraded steps where some workers are
+        down — a fault-mode limitation, not a reproduction caveat.
+        """
+        workers = (
+            self.workers if live is None else [self.workers[w] for w in live]
+        )
+        batches = [w.loader.next_batch() for w in workers]
         inject_time = 0.0
-        if self.injector is not None:
+        if self.injector is not None and len(workers) == len(self.workers):
             result = self.injector.inject(batches)
             batches = result.batches
             inject_time = self.group.p2p(result.bytes_transferred)
         return batches, inject_time
 
     def step(self, i: int) -> IterationRecord:
+        sf = self.begin_faults(i)
+        degraded = self.faults.active
+        live = sf.live
+        live_workers = [self.workers[w] for w in live]
+
         lr = self.lr(i)
-        batches, inject_time = self._gather_batches()
+        batches, inject_time = self._gather_batches(live if degraded else None)
         batch_size = len(batches[0][0])
-        t_c = self.max_compute_time(batch_size)
+        t_c = self.max_compute_time(batch_size, step=i, live=live)
         threshold = (
             self.delta
             if self.delta_policy is None
             else self.delta_policy.effective_delta(self, i)
         )
 
-        losses = self.executor.compute_gradients(self.workers, batches)
-        flags = []
+        losses = self.executor.compute_gradients(live_workers, batches)
+        # Live workers with an intact gradient; only they update their Δ
+        # tracker and vote — a NaN burst must not poison the EWMA (Eqn. 2).
+        voters = self.apply_corruption(sf)
+        voter_set = set(voters)
+        flags = [0] * len(self.workers)
         deltas = []
-        for w, tracker in zip(self.workers, self.trackers):
-            d = tracker.update(w.last_grad_sqnorm)
+        for wid in voters:
+            d = self.trackers[wid].update(self.workers[wid].last_grad_sqnorm)
             deltas.append(d)
-            flags.append(1 if d >= threshold else 0)
+            flags[wid] = 1 if d >= threshold else 0
 
         gathered, t_flags = self.group.allgather_flags(flags)
         if self.sync_vote == "any":
@@ -132,33 +149,53 @@ class SelSyncTrainer(DistributedTrainer):
             sync = int(gathered.sum()) > len(self.workers) // 2
 
         t_s = 0.0
+        pushers = voters
+        if sync:
+            # Upload faults only bite when a sync round actually pushes.
+            t_retry, lost = self.upload_penalty(voters, i)
+            if lost:
+                lost_set = set(lost)
+                pushers = [w for w in voters if w not in lost_set]
+            self.check_quorum(len(pushers), i)
         if self.aggregation == "params":
-            # Alg. 1 line 9: apply local updates unconditionally...
-            for w in self.workers:
-                w.local_step(lr)
+            # Alg. 1 line 9: apply local updates unconditionally... but a
+            # corrupted gradient must not land on the replica; the worker
+            # skips its step and (on sync) heals from the pulled average.
+            for wid in live:
+                if wid in voter_set:
+                    self.workers[wid].local_step(lr)
             if sync:
                 # ...then push w_{i+1} and pull the average (lines 14-15).
                 global_params = self.server.aggregate_params(
-                    [w.get_params(copy=False) for w in self.workers]
+                    [self.workers[w].get_params(copy=False) for w in pushers]
                 )
-                t_s = self.group.charge_sync(self.comm_bytes)
-                for w in self.workers:
+                t_s = self.group.charge_sync(
+                    self.comm_bytes, n_live=len(pushers) if degraded else None
+                )
+                for w in live_workers:
                     w.set_params(global_params)
         else:  # gradient aggregation
             if sync:
                 mean_grad = self.server.aggregate_grads(
-                    [w.get_grads() for w in self.workers]
+                    [self.workers[w].get_grads() for w in pushers]
                 )
-                t_s = self.group.charge_sync(self.comm_bytes)
+                t_s = self.group.charge_sync(
+                    self.comm_bytes, n_live=len(pushers) if degraded else None
+                )
                 # The same averaged gradient lands on *divergent* local
                 # parameters — replicas are NOT re-consistent afterwards.
-                for w in self.workers:
+                # The mean replaces every live worker's gradient, healing
+                # corrupted ones.
+                for w in live_workers:
                     w.apply_gradient(mean_grad, lr)
             else:
-                for w in self.workers:
-                    w.local_step(lr)
+                for wid in live:
+                    if wid in voter_set:
+                        self.workers[wid].local_step(lr)
 
         t_s = self.effective_sync_time(t_s, t_c)
+        if sync and degraded:
+            t_s += t_retry
         if self.delta_policy is not None and hasattr(self.delta_policy, "observe"):
             self.delta_policy.observe(sync)
 
@@ -172,3 +209,26 @@ class SelSyncTrainer(DistributedTrainer):
             grad_change=float(max(finite)) if finite else float("inf"),
             extra={"n_flags": float(int(gathered.sum()))},
         )
+
+    # -- fault/checkpoint hooks -------------------------------------------
+    def _on_worker_rejoin(self, worker_id: int, from_checkpoint: bool) -> None:
+        if from_checkpoint and self._latest_checkpoint is not None:
+            self.trackers[worker_id].load_state_dict(
+                self._latest_checkpoint["extra"]["trackers"][worker_id]
+            )
+        else:
+            # No checkpoint to restore from: the Δ history died with the
+            # worker; restart the EWMA (first update re-seeds it).
+            self.trackers[worker_id].reset()
+
+    def _extra_state(self):
+        state = {"trackers": [t.state_dict() for t in self.trackers]}
+        if self.delta_policy is not None:
+            state["delta_policy"] = self.delta_policy.state_dict()
+        return state
+
+    def _load_extra_state(self, state):
+        for t, s in zip(self.trackers, state["trackers"]):
+            t.load_state_dict(s)
+        if self.delta_policy is not None:
+            self.delta_policy.load_state_dict(state.get("delta_policy", {}))

@@ -20,7 +20,7 @@ from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
 from repro.core.trainer import DistributedTrainer, TrainResult
 from repro.optim.schedules import LRSchedule
-from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+from repro.utils.runlog import EvalRecord, FaultRecord, IterationRecord, RunLog
 
 
 class SSPTrainer(DistributedTrainer):
@@ -58,8 +58,23 @@ class SSPTrainer(DistributedTrainer):
 
     # The event-driven loop replaces the lock-step run().
     def run(self, cfg: TrainConfig) -> TrainResult:
+        if cfg.checkpoint_every is not None or cfg.resume_from is not None:
+            raise NotImplementedError(
+                "SSP's event-driven loop does not support checkpoint/resume: "
+                "its in-flight event queue (one pending push per worker) is "
+                "not at a step boundary at any wall-clock instant; use a "
+                "lock-step trainer for checkpointed runs"
+            )
         n = len(self.workers)
         log = RunLog(name=self.name)
+        self._log = log
+        try:
+            return self._run_events(cfg, log)
+        finally:
+            self._log = None
+
+    def _run_events(self, cfg: TrainConfig, log: RunLog) -> TrainResult:
+        n = len(self.workers)
         queue = EventQueue()
         iters = np.zeros(n, dtype=np.int64)
         blocked: List[int] = []
@@ -72,13 +87,65 @@ class SSPTrainer(DistributedTrainer):
         last_time = 0.0
         total_eval_interval = cfg.eval_every * n  # worker-steps between evals
         completed = 0
+        # Fault bookkeeping. SSP has no global step, so fault windows are
+        # interpreted in each worker's own iteration space: ``crash:w1@40-60``
+        # downs worker 1 from its 40th to its 60th iteration. A crashed
+        # worker recovers by pulling the current globals from the PS — the
+        # asynchronous analogue of the lock-step checkpoint restore.
+        dead: set = set()  # permanently crashed (open-ended window)
+        alive = np.ones(n, dtype=bool)
+        # Crash windows already served: a worker's iteration counter does
+        # not advance while it is down, so after the rejoin the same window
+        # still covers its iteration — each (worker, window) fires once.
+        served_crashes: set = set()
+
+        def live_min() -> int:
+            """Staleness floor over workers that can still make progress."""
+            return int(iters[alive].min()) if alive.any() else int(iters.min())
 
         def start(worker_id: int, now: float) -> None:
             """Pull, compute, and schedule the push completion."""
+            k = int(iters[worker_id])
+            crash = next(
+                (
+                    c
+                    for c in self.faults.plan.crashes
+                    if c.worker == worker_id
+                    and c.covers(k)
+                    and (worker_id, c.start, c.end) not in served_crashes
+                ),
+                None,
+            ) if self.faults.active else None
+            if crash is not None:
+                served_crashes.add((worker_id, crash.start, crash.end))
+                self._record_fault(
+                    FaultRecord(
+                        step=k,
+                        worker=worker_id,
+                        kind="crash",
+                        detail={"until": -1 if crash.end is None else crash.end},
+                    )
+                )
+                if crash.end is None:
+                    dead.add(worker_id)
+                    alive[worker_id] = False
+                    self.check_quorum(int(alive.sum()), k)
+                    return
+                # Downtime estimate: the remaining window, at this worker's
+                # nominal (unstraggled, no-jitter) step duration.
+                t_step = (
+                    self.compute.mean_time(self.flops_per_sample, batch, worker_id)
+                    + comm_t
+                )
+                queue.push(now + (crash.end - k) * t_step, worker=worker_id,
+                           payload="rejoin")
+                return
             w = self.workers[worker_id]
             w.set_params(self.server.pull(copy=False))
             self.executor.compute_gradients([w])
             t_c = self.compute.sample_time(self.flops_per_sample, batch, worker_id)
+            if self.faults.active:
+                t_c *= self.faults.straggle_factor(worker_id, k)
             queue.push(now + t_c + comm_t, worker=worker_id)
 
         for wid in range(n):
@@ -88,9 +155,43 @@ class SSPTrainer(DistributedTrainer):
             ev = queue.pop()
             wid = ev.worker
             w = self.workers[wid]
+            if ev.payload == "rejoin":
+                self._record_fault(
+                    FaultRecord(
+                        step=int(iters[wid]), worker=wid, kind="rejoin",
+                        detail={"from_checkpoint": 0},
+                    )
+                )
+                start(wid, ev.time)
+                continue
             # Push: apply this worker's (possibly stale) update at the PS.
             k = int(iters[wid])
-            self.server.async_apply(-lr_of(k) * w.get_grads())
+            push_delay = 0.0
+            apply_update = True
+            if self.faults.active:
+                if self.faults.corrupts(wid, k):
+                    # The PS rejects a NaN/inf burst instead of poisoning
+                    # the globals; the worker's iteration still counts.
+                    self._record_fault(
+                        FaultRecord(step=k, worker=wid, kind="corrupt", detail={})
+                    )
+                    apply_update = False
+                else:
+                    push_delay, retries, lost = self.faults.upload_penalty_seconds(
+                        wid, k, comm_t / 2.0
+                    )
+                    if retries:
+                        self._record_fault(
+                            FaultRecord(
+                                step=k, worker=wid, kind="drop",
+                                detail={"retries": retries, "lost": int(lost)},
+                            )
+                        )
+                    if lost:
+                        apply_update = False
+                        push_delay = 0.0
+            if apply_update:
+                self.server.async_apply(-lr_of(k) * w.get_grads())
             iters[wid] += 1
             completed += 1
             log.record_iteration(
@@ -100,7 +201,7 @@ class SSPTrainer(DistributedTrainer):
                     sim_time=ev.time - last_time,
                     comm_time=comm_t,
                     loss=w.last_loss,
-                    extra={"worker": float(wid), "staleness": float(iters[wid] - iters.min())},
+                    extra={"worker": float(wid), "staleness": float(iters[wid] - live_min())},
                 )
             )
             last_time = ev.time
@@ -133,15 +234,18 @@ class SSPTrainer(DistributedTrainer):
 
             if iters[wid] >= cfg.n_steps:
                 pass  # this worker is done
-            elif iters[wid] - iters.min() > self.staleness:
+            elif iters[wid] - live_min() > self.staleness:
                 blocked.append(wid)  # too far ahead: wait for stragglers
             else:
-                start(wid, ev.time)
+                # Retry traffic delays only this worker's next pull.
+                start(wid, ev.time + push_delay)
 
             # Unblock fast workers whose lead shrank back under the bound.
+            # The staleness floor ignores permanently dead workers — they
+            # would otherwise deadlock every survivor after s iterations.
             still_blocked = []
             for b in blocked:
-                if iters[b] - iters.min() <= self.staleness and iters[b] < cfg.n_steps:
+                if iters[b] - live_min() <= self.staleness and iters[b] < cfg.n_steps:
                     start(b, ev.time)
                 else:
                     still_blocked.append(b)

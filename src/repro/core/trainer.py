@@ -3,23 +3,39 @@
 Concrete trainers (BSP, FedAvg, SSP, SelSync, local-SGD) implement a single
 ``step`` and inherit the shared loop: per-step time accounting, periodic
 evaluation of the deployable model, the paper's until-no-improvement stopping
-rule, and RunLog assembly.
+rule, RunLog assembly — and, beyond the paper, the fault/recovery machinery:
+deterministic fault injection (:mod:`repro.cluster.faults`), degraded-mode
+aggregation over the live worker subset with a configurable quorum, and
+checkpoint/resume with bitwise-identical continuation.
+
+Fault-free runs are bitwise-identical to a build without the fault
+subsystem: every fault hook short-circuits when no ``fault_spec`` is set,
+and the compute-jitter RNG is always drawn for the full worker set so the
+stream never shifts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.faults import QuorumLostError, StepFaults
 from repro.cluster.server import ParameterServer
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
 from repro.optim.schedules import ConstantLR, LRSchedule
 from repro.utils import fastpath
 from repro.utils.flatten import mean_into
-from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+from repro.utils.runlog import EvalRecord, FaultRecord, IterationRecord, RunLog
+from repro.utils.serialization import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    runlog_from_jsonable,
+    runlog_to_jsonable,
+    save_checkpoint,
+)
 
 
 @dataclass
@@ -48,8 +64,8 @@ class DistributedTrainer:
 
     Subclasses implement :meth:`step`, returning an
     :class:`~repro.utils.runlog.IterationRecord`; everything else (clock,
-    evaluation cadence, early stopping) lives here so all methods are
-    compared under identical protocols.
+    evaluation cadence, early stopping, fault handling, checkpointing)
+    lives here so all methods are compared under identical protocols.
     """
 
     name = "abstract"
@@ -80,19 +96,58 @@ class DistributedTrainer:
             if cluster.flops_per_sample is None
             else float(cluster.flops_per_sample)
         )
+        self.faults = cluster.make_fault_injector()
+        self.quorum = cluster.effective_quorum
+        # Live set of the step in flight; None outside fault runs so the
+        # deployable mean covers every worker (the fault-free fast path).
+        self._current_live: Optional[List[int]] = None
+        # In-memory copy of the latest checkpoint; rejoining workers
+        # restore their rank state from it (crash-recovery semantics).
+        self._latest_checkpoint: Optional[Dict] = None
+        self._log: Optional[RunLog] = None
 
     # -- subclass interface -----------------------------------------------
     def step(self, i: int) -> IterationRecord:
         raise NotImplementedError
 
+    def _extra_state(self) -> Dict:
+        """Trainer-specific checkpoint state (tracker/center/RNG...)."""
+        return {}
+
+    def _load_extra_state(self, state: Dict) -> None:
+        pass
+
+    def _on_worker_rejoin(self, worker_id: int, from_checkpoint: bool) -> None:
+        """Hook for trainer-local per-worker state on rejoin (e.g. SelSync
+        restores or resets the worker's Δ tracker)."""
+
     # -- shared helpers --------------------------------------------------------
     def lr(self, i: int) -> float:
         return self.schedule(i)
 
-    def max_compute_time(self, batch_size: int) -> float:
+    def max_compute_time(
+        self,
+        batch_size: int,
+        step: Optional[int] = None,
+        live: Optional[Sequence[int]] = None,
+    ) -> float:
         """Lock-step compute phase: all workers run concurrently, the round
-        takes as long as the slowest (the straggler effect of §II-A)."""
-        return float(self.compute.sample_all(self.flops_per_sample, batch_size).max())
+        takes as long as the slowest (the straggler effect of §II-A).
+
+        The jitter RNG is always drawn for the *full* worker set so the
+        stream is identical with and without faults; injected straggle
+        factors then scale per-worker times and the max is taken over the
+        live subset only (a dead worker delays nobody).
+        """
+        times = self.compute.sample_all(self.flops_per_sample, batch_size)
+        if self.faults.active and step is not None:
+            factors = np.array(
+                [self.faults.straggle_factor(w, step) for w in range(len(self.workers))]
+            )
+            times = times * factors
+            if live is not None and len(live) < len(self.workers):
+                times = times[np.asarray(live, dtype=np.intp)]
+        return float(times.max())
 
     def effective_sync_time(self, t_s: float, t_c: float) -> float:
         """Apply the configured compute/communication overlap.
@@ -103,12 +158,179 @@ class DistributedTrainer:
         """
         return max(0.0, t_s - self.cluster.overlap_fraction * t_c)
 
+    # -- fault machinery --------------------------------------------------
+    def begin_faults(self, i: int) -> StepFaults:
+        """Open step ``i`` under the fault plan.
+
+        Records crash/rejoin/straggle transitions as typed RunLog records,
+        restores rejoining workers from the latest checkpoint, and raises
+        :class:`QuorumLostError` if fewer live workers remain than the
+        configured quorum. A no-op returning the full live set when fault
+        injection is disabled.
+        """
+        sf = self.faults.begin_step(i)
+        if not self.faults.active:
+            self._current_live = None
+            return sf
+        for c in self.faults.plan.crashes:
+            if c.start == i and c.worker in sf.crashed:
+                self._record_fault(
+                    FaultRecord(
+                        step=i,
+                        worker=c.worker,
+                        kind="crash",
+                        detail={"until": -1 if c.end is None else c.end},
+                    )
+                )
+        for wid in sf.rejoined:
+            self._restore_rejoined_worker(wid, i)
+        for s in self.faults.plan.straggles:
+            if s.start == i:
+                self._record_fault(
+                    FaultRecord(
+                        step=i,
+                        worker=s.worker,
+                        kind="straggle",
+                        detail={
+                            "factor": s.factor,
+                            "until": -1 if s.end is None else s.end,
+                        },
+                    )
+                )
+        self._current_live = sf.live
+        self.check_quorum(len(sf.live), i)
+        return sf
+
+    def check_quorum(self, n_contributing: int, step: int) -> None:
+        """Raise loudly when fewer than ``quorum`` workers can contribute."""
+        if n_contributing >= self.quorum:
+            return
+        self._record_fault(
+            FaultRecord(
+                step=step,
+                worker=-1,
+                kind="quorum_lost",
+                detail={"contributing": n_contributing, "quorum": self.quorum},
+            )
+        )
+        raise QuorumLostError(
+            f"step {step}: only {n_contributing} worker(s) can contribute "
+            f"but min_quorum={self.quorum}; refusing to aggregate a "
+            "partial mean"
+        )
+
+    def apply_corruption(self, sf: StepFaults) -> List[int]:
+        """Poison the gradients of this step's corrupt-targeted workers.
+
+        Returns the contributing subset of ``sf.live`` — live workers whose
+        gradient survived. A poisoned worker's ``last_grad_sqnorm`` is
+        NaN'd so no tracker can silently smooth it.
+        """
+        if not sf.corrupted:
+            return list(sf.live)
+        for wid in sf.corrupted:
+            w = self.workers[wid]
+            w.model.set_flat_grads(
+                self.faults.corrupt_gradient(wid, sf.step, w.get_grads(copy=False))
+            )
+            w.last_grad_sqnorm = float("nan")
+            self._record_fault(
+                FaultRecord(step=sf.step, worker=wid, kind="corrupt", detail={})
+            )
+        corrupted = set(sf.corrupted)
+        return [wid for wid in sf.live if wid not in corrupted]
+
+    def upload_penalty(
+        self, uploaders: Sequence[int], step: int
+    ) -> Tuple[float, List[int]]:
+        """Retry cost and abandoned uploads for this step's push phase.
+
+        Uploads proceed in parallel, so the charged penalty is the *max*
+        over workers (each retry costs one straggle-scaled retransfer plus
+        exponential backoff). Workers whose upload was abandoned after
+        :data:`~repro.cluster.faults.MAX_UPLOAD_RETRIES` are returned so
+        the caller excludes them from the aggregation round.
+        """
+        if not self.faults.active:
+            return 0.0, []
+        transfer_s = self.cluster.net.transfer_time(self.comm_bytes)
+        extra = 0.0
+        lost: List[int] = []
+        for wid in uploaders:
+            penalty, retries, abandoned = self.faults.upload_penalty_seconds(
+                wid, step, transfer_s
+            )
+            if retries:
+                self._record_fault(
+                    FaultRecord(
+                        step=step,
+                        worker=wid,
+                        kind="drop",
+                        detail={"retries": retries, "lost": int(abandoned)},
+                    )
+                )
+            if abandoned:
+                lost.append(wid)
+            else:
+                extra = max(extra, penalty)
+        return extra, lost
+
+    def _record_fault(self, rec: FaultRecord) -> None:
+        if self._log is not None:
+            self._log.record_fault(rec)
+
+    def _restore_rejoined_worker(self, wid: int, step: int) -> None:
+        """Crash-recovery: a rejoining worker restores its rank state from
+        the latest checkpoint; with no checkpoint it re-syncs from the
+        current deployable model with fresh optimizer state."""
+        w = self.workers[wid]
+        ck = self._latest_checkpoint
+        from_checkpoint = ck is not None
+        if from_checkpoint:
+            w.load_state_dict(ck["workers"][wid])
+        else:
+            live_others = [
+                j for j in self.faults.live_workers(step) if j != wid
+            ]
+            if live_others:
+                w.set_params(
+                    np.mean(
+                        np.stack([self.workers[j].get_params() for j in live_others]),
+                        axis=0,
+                    )
+                )
+            w.optimizer.reset_state()
+        self._on_worker_rejoin(wid, from_checkpoint)
+        self._record_fault(
+            FaultRecord(
+                step=step,
+                worker=wid,
+                kind="rejoin",
+                detail={"from_checkpoint": int(from_checkpoint)},
+            )
+        )
+
+    def live_worker_objs(self, live: Sequence[int]) -> List[SimWorker]:
+        return [self.workers[w] for w in live]
+
+    # -- parameter views --------------------------------------------------
     def mean_params(self) -> np.ndarray:
+        """Mean of the (live) worker replicas — the deployable parameters.
+
+        Under an active fault plan the mean covers the current live subset
+        only; a crashed worker's stale replica must not drag the serving
+        model backwards.
+        """
+        workers = (
+            self.workers
+            if self._current_live is None
+            else [self.workers[w] for w in self._current_live]
+        )
         if fastpath.is_enabled():
             # Arena views in, fresh vector out — bitwise-identical to the
             # stack reduce (see mean_into's contract).
-            return mean_into([w.get_params(copy=False) for w in self.workers])
-        return np.mean(np.stack([w.get_params() for w in self.workers]), axis=0)
+            return mean_into([w.get_params(copy=False) for w in workers])
+        return np.mean(np.stack([w.get_params() for w in workers]), axis=0)
 
     def deploy_model(self):
         """Model carrying the deployable parameters (worker average).
@@ -138,41 +360,123 @@ class DistributedTrainer:
             model.train()
             self.restore_model(saved)
 
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Snapshot of everything that evolves during training: server,
+        every worker's rank state, the jitter RNG, traffic counters, and
+        trainer-specific extras."""
+        return {
+            "server": self.server.state_dict(),
+            "workers": [w.state_dict() for w in self.workers],
+            "compute_rng": self.compute.rng.bit_generator.state,
+            "group": self.group.state_dict(),
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if len(state["workers"]) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(state['workers'])} workers, "
+                f"trainer has {len(self.workers)}"
+            )
+        self.server.load_state_dict(state["server"])
+        for w, ws in zip(self.workers, state["workers"]):
+            w.load_state_dict(ws)
+        self.compute.rng.bit_generator.state = state["compute_rng"]
+        self.group.load_state_dict(state["group"])
+        self._load_extra_state(state.get("extra", {}))
+
+    def _write_checkpoint(
+        self,
+        cfg: TrainConfig,
+        next_step: int,
+        log: RunLog,
+        best: Optional[float],
+        stale_evals: int,
+        clock: float,
+    ) -> None:
+        state = self.state_dict()
+        self._latest_checkpoint = state
+        save_checkpoint(
+            {
+                "version": CHECKPOINT_VERSION,
+                "trainer": self.name,
+                "step": next_step,
+                "clock": clock,
+                "best": best,
+                "stale_evals": stale_evals,
+                "state": state,
+                "log": runlog_to_jsonable(log),
+            },
+            cfg.checkpoint_path,
+        )
+
+    def _resume(self, cfg: TrainConfig) -> Tuple[int, RunLog, Optional[float], int, float]:
+        ck = load_checkpoint(cfg.resume_from)
+        if ck.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {ck.get('version')} != "
+                f"{CHECKPOINT_VERSION} ({cfg.resume_from})"
+            )
+        if ck.get("trainer") != self.name:
+            raise ValueError(
+                f"checkpoint was written by trainer {ck.get('trainer')!r}, "
+                f"cannot resume with {self.name!r}"
+            )
+        self.load_state_dict(ck["state"])
+        self._latest_checkpoint = ck["state"]
+        log = runlog_from_jsonable(ck["log"])
+        return int(ck["step"]), log, ck["best"], int(ck["stale_evals"]), float(ck["clock"])
+
     # -- the run loop ---------------------------------------------------------
     def run(self, cfg: TrainConfig) -> TrainResult:
         log = RunLog(name=self.name)
         best: Optional[float] = None
         stale_evals = 0
         clock = 0.0
-        for i in range(cfg.n_steps):
-            rec = self.step(i)
-            clock += rec.sim_time
-            log.record_iteration(rec)
-            last = i == cfg.n_steps - 1
-            if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
-                metric = self.evaluate(cfg)
-                log.record_eval(
-                    EvalRecord(
-                        step=i,
-                        epoch=self.workers[0].epoch,
-                        sim_time=clock,
-                        metric=metric,
-                        metric_name="metric",
+        start_step = 0
+        if cfg.resume_from is not None:
+            start_step, log, best, stale_evals, clock = self._resume(cfg)
+        self._log = log
+        try:
+            for i in range(start_step, cfg.n_steps):
+                rec = self.step(i)
+                clock += rec.sim_time
+                log.record_iteration(rec)
+                last = i == cfg.n_steps - 1
+                if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
+                    metric = self.evaluate(cfg)
+                    log.record_eval(
+                        EvalRecord(
+                            step=i,
+                            epoch=self.workers[0].epoch,
+                            sim_time=clock,
+                            metric=metric,
+                            metric_name="metric",
+                        )
                     )
-                )
-                if best is None:
-                    improved = True
-                elif cfg.higher_is_better:
-                    improved = metric > best + cfg.min_improvement
-                else:
-                    improved = metric < best - cfg.min_improvement
-                if improved:
-                    best = metric
-                    stale_evals = 0
-                else:
-                    stale_evals += 1
-                    if cfg.patience is not None and stale_evals >= cfg.patience:
-                        break
+                    if best is None:
+                        improved = True
+                    elif cfg.higher_is_better:
+                        improved = metric > best + cfg.min_improvement
+                    else:
+                        improved = metric < best - cfg.min_improvement
+                    if improved:
+                        best = metric
+                        stale_evals = 0
+                    else:
+                        stale_evals += 1
+                        if cfg.patience is not None and stale_evals >= cfg.patience:
+                            break
+                if (
+                    cfg.checkpoint_every is not None
+                    and (i + 1) % cfg.checkpoint_every == 0
+                ):
+                    self._write_checkpoint(cfg, i + 1, log, best, stale_evals, clock)
+                if cfg.stop_after is not None and (i + 1) >= cfg.stop_after:
+                    break  # simulated kill; the checkpoint is the survivor
+        finally:
+            self._log = None
         final = log.final_metric() if log.evals else None
         return TrainResult(
             log=log,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -81,6 +81,30 @@ class BatchLoader:
             # paper's goal (every worker sees all data) while keeping the
             # first-epoch rotation exact.
             self.rng.shuffle(self.order)
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Checkpointable snapshot: the (possibly reshuffled) order, the
+        cursor/epoch position, and the reshuffle RNG's bit-generator state —
+        everything needed to resume the exact batch stream."""
+        return {
+            "order": self.order.copy(),
+            "cursor": self._cursor,
+            "epoch": self._epoch,
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        order = np.asarray(state["order"])
+        if order.shape != self.order.shape:
+            raise ValueError(
+                f"loader state mismatch: checkpoint order has "
+                f"{order.shape[0]} samples, this loader has {self.order.shape[0]}"
+            )
+        self.order = order.copy()
+        self._cursor = int(state["cursor"])
+        self._epoch = int(state["epoch"])
+        self.rng.bit_generator.state = state["rng"]
 
     @classmethod
     def for_workers(

@@ -67,6 +67,10 @@ def run_method(
     eval_every: int = 50,
     patience: Optional[int] = None,
     higher_is_better: Optional[bool] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    stop_after: Optional[int] = None,
 ) -> TrainResult:
     """Run one method on an already-built workload (workers are consumed:
     rebuild the workload for the next method so everyone starts fresh)."""
@@ -79,6 +83,10 @@ def run_method(
             built.higher_is_better if higher_is_better is None else higher_is_better
         ),
         patience=patience,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+        stop_after=stop_after,
     )
     result = trainer.run(cfg)
     result.log.meta = _manifest(spec, built, n_steps)

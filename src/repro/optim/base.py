@@ -49,3 +49,28 @@ class Optimizer:
     def reset_state(self) -> None:
         """Drop momentum/Adam slots (used when a worker re-syncs parameters)."""
         self._state = [{} for _ in self.module.parameters()]
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Checkpointable snapshot: learning rate plus per-parameter slot
+        arrays (momentum/Adam moments). Subclasses with extra state
+        (e.g. SGD's whole-model flat velocity) extend this."""
+        return {
+            "lr": self.lr,
+            "state": [
+                {k: np.array(v, copy=True) for k, v in slot.items()}
+                for slot in self._state
+            ],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        slots = state["state"]
+        if len(slots) != len(self._state):
+            raise ValueError(
+                f"optimizer state mismatch: checkpoint has {len(slots)} "
+                f"parameter slots, module has {len(self._state)}"
+            )
+        self.lr = float(state["lr"])
+        self._state = [
+            {k: np.array(v, copy=True) for k, v in slot.items()} for slot in slots
+        ]

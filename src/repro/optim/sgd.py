@@ -85,6 +85,17 @@ class SGD(Optimizer):
         self._flat_velocity = None
         super().reset_state()
 
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        if self._flat_velocity is not None:
+            state["flat_velocity"] = self._flat_velocity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        v = state.get("flat_velocity")
+        self._flat_velocity = None if v is None else np.array(v, copy=True)
+
     def _update(self, p: Parameter, state: Dict[str, np.ndarray]) -> None:
         g = p.grad
         if self.weight_decay:

@@ -58,6 +58,40 @@ class EvalRecord:
     metric_name: str = "accuracy"
 
 
+#: Known fault-record kinds (see :mod:`repro.cluster.faults`).
+FAULT_KINDS = ("crash", "rejoin", "straggle", "drop", "corrupt", "quorum_lost")
+
+
+@dataclass
+class FaultRecord:
+    """One injected (or observed) fault event.
+
+    Attributes
+    ----------
+    step:
+        Step index at which the event fired.
+    worker:
+        Affected worker id, or -1 for cluster-wide events (quorum loss).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    detail:
+        Event-specific scalars, e.g. ``{"factor": 4.0}`` for a straggle
+        window, ``{"retries": 2, "lost": 0}`` for a dropped upload, or
+        ``{"until": 120}`` for a crash with a known rejoin step.
+    """
+
+    step: int
+    worker: int
+    kind: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+
 class RunLog:
     """Accumulates iteration and evaluation records for one training run.
 
@@ -71,6 +105,7 @@ class RunLog:
         self.meta: Dict = dict(meta) if meta else {}
         self.iterations: List[IterationRecord] = []
         self.evals: List[EvalRecord] = []
+        self.faults: List[FaultRecord] = []
 
     # -- recording -------------------------------------------------------
     def record_iteration(self, rec: IterationRecord) -> None:
@@ -78,6 +113,9 @@ class RunLog:
 
     def record_eval(self, rec: EvalRecord) -> None:
         self.evals.append(rec)
+
+    def record_fault(self, rec: FaultRecord) -> None:
+        self.faults.append(rec)
 
     # -- aggregate views -------------------------------------------------
     @property
@@ -152,6 +190,36 @@ class RunLog:
             raise ValueError("no evaluation records in run log")
         return self.evals[-1].metric
 
+    # -- fault views ------------------------------------------------------
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    def faults_of_kind(self, kind: str) -> List[FaultRecord]:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        return [f for f in self.faults if f.kind == kind]
+
+    def fault_windows(self) -> List[Dict]:
+        """Per-worker outage windows ``[{"worker", "start", "end"}]`` for
+        figure overlays; ``end`` is ``None`` for workers still down at the
+        end of the log (crash without a recorded rejoin)."""
+        open_since: Dict[int, int] = {}
+        windows: List[Dict] = []
+        for f in self.faults:
+            if f.kind == "crash" and f.worker not in open_since:
+                open_since[f.worker] = f.step
+            elif f.kind == "rejoin" and f.worker in open_since:
+                windows.append(
+                    {"worker": f.worker, "start": open_since.pop(f.worker), "end": f.step}
+                )
+        for worker, start in sorted(open_since.items()):
+            windows.append({"worker": worker, "start": start, "end": None})
+        windows.sort(key=lambda w: (w["start"], w["worker"]))
+        return windows
+
     def summary(self) -> Dict[str, float]:
         """Dictionary of headline statistics for reporting."""
         out = {
@@ -164,4 +232,6 @@ class RunLog:
             out["lssr"] = self.lssr()
         if self.evals:
             out["final_metric"] = self.final_metric()
+        if self.faults:
+            out["n_faults"] = float(self.n_faults)
         return out

@@ -1,100 +1,218 @@
 """Run-artifact serialization.
 
 Training runs are expensive; these helpers persist a
-:class:`~repro.utils.runlog.RunLog` (JSONL: one iteration or eval record per
-line) and model state dicts (``.npz``) so experiments can be resumed,
-re-plotted or diffed without re-running.
+:class:`~repro.utils.runlog.RunLog` (JSONL: one iteration, eval or fault
+record per line), model state dicts (``.npz``), and full training
+checkpoints (global params, per-worker optimizer/loader/RNG state, tracker
+state, step counter) so experiments can be killed, resumed, re-plotted or
+diffed without re-running.
+
+Non-finite floats
+-----------------
+Strict JSON has no ``nan``/``inf``. Diverged runs produce them routinely —
+losses, metrics, Δ(g) traces, tracker state — and a checkpoint that cannot
+hold them is useless exactly when you need it. :func:`encode_jsonable` /
+:func:`decode_jsonable` walk arbitrarily *nested* structures (dicts, lists,
+tuples) and replace non-finite floats with the tagged dict
+``{"__nonfinite__": "nan" | "inf" | "-inf"}``, which survives strict JSON
+and cannot collide with a legitimate string value.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+from repro.utils.runlog import EvalRecord, FaultRecord, IterationRecord, RunLog
 
 PathLike = Union[str, Path]
 
+#: Current checkpoint layout version (bump on incompatible change).
+CHECKPOINT_VERSION = 1
+
+_NONFINITE_TAG = "__nonfinite__"
+_NDARRAY_TAG = "__ndarray__"
+
+
+# -- non-finite-safe JSON trees ----------------------------------------------
+
+
+def encode_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into a strict-JSON-safe tree.
+
+    Handles nested dicts/lists/tuples, numpy scalars, and non-finite floats
+    at any depth (the top-level-only encoding this replaces silently wrote
+    invalid JSON for diverged eval records and metrics dicts).
+    """
+    if obj is None or isinstance(obj, (bool, str, int)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        f = float(obj)
+        if np.isnan(f):
+            return {_NONFINITE_TAG: "nan"}
+        if np.isinf(f):
+            return {_NONFINITE_TAG: "inf" if f > 0 else "-inf"}
+        return f
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                k = str(k)
+            out[k] = encode_jsonable(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [encode_jsonable(v) for v in obj]
+    raise TypeError(f"cannot JSON-encode object of type {type(obj).__name__}")
+
+
+def decode_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`encode_jsonable` (tuples come back as lists)."""
+    if isinstance(obj, dict):
+        if set(obj) == {_NONFINITE_TAG}:
+            return float(obj[_NONFINITE_TAG])
+        return {k: decode_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode_jsonable(v) for v in obj]
+    return obj
+
+
+# -- run logs ----------------------------------------------------------------
+
+
+def _iter_to_jsonable(r: IterationRecord) -> Dict:
+    return {
+        "kind": "iter",
+        "step": r.step,
+        "synced": r.synced,
+        "sim_time": r.sim_time,
+        "comm_time": r.comm_time,
+        "loss": None if np.isnan(r.loss) else encode_jsonable(r.loss),
+        "grad_change": _encode_float(r.grad_change),
+        "extra": encode_jsonable(r.extra),
+    }
+
+
+def _iter_from_jsonable(rec: Dict) -> IterationRecord:
+    return IterationRecord(
+        step=rec["step"],
+        synced=rec["synced"],
+        sim_time=rec["sim_time"],
+        comm_time=rec["comm_time"],
+        loss=float("nan") if rec["loss"] is None else decode_jsonable(rec["loss"]),
+        grad_change=_decode_float(rec["grad_change"]),
+        extra=decode_jsonable(rec.get("extra", {})),
+    )
+
+
+def _eval_to_jsonable(e: EvalRecord) -> Dict:
+    return {
+        "kind": "eval",
+        "step": e.step,
+        "epoch": e.epoch,
+        "sim_time": e.sim_time,
+        "metric": encode_jsonable(e.metric),
+        "metric_name": e.metric_name,
+    }
+
+
+def _eval_from_jsonable(rec: Dict) -> EvalRecord:
+    return EvalRecord(
+        step=rec["step"],
+        epoch=rec["epoch"],
+        sim_time=rec["sim_time"],
+        metric=decode_jsonable(rec["metric"]),
+        metric_name=rec.get("metric_name", "accuracy"),
+    )
+
+
+def _fault_to_jsonable(f: FaultRecord) -> Dict:
+    return {
+        "kind": "fault",
+        "step": f.step,
+        "worker": f.worker,
+        "fault_kind": f.kind,
+        "detail": encode_jsonable(f.detail),
+    }
+
+
+def _fault_from_jsonable(rec: Dict) -> FaultRecord:
+    return FaultRecord(
+        step=rec["step"],
+        worker=rec["worker"],
+        kind=rec["fault_kind"],
+        detail=decode_jsonable(rec.get("detail", {})),
+    )
+
+
+def runlog_to_jsonable(log: RunLog) -> List[Dict]:
+    """Whole run log as a list of strict-JSON-safe record dicts (header
+    first) — the shared representation of the JSONL file and checkpoints."""
+    records = [
+        {"kind": "header", "name": log.name, "meta": encode_jsonable(log.meta)}
+    ]
+    records += [_iter_to_jsonable(r) for r in log.iterations]
+    records += [_fault_to_jsonable(f) for f in log.faults]
+    records += [_eval_to_jsonable(e) for e in log.evals]
+    return records
+
+
+def runlog_from_jsonable(records: List[Dict]) -> RunLog:
+    log = RunLog()
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "header":
+            log.name = rec["name"]
+            log.meta = decode_jsonable(rec.get("meta", {}))
+        elif kind == "iter":
+            log.record_iteration(_iter_from_jsonable(rec))
+        elif kind == "eval":
+            log.record_eval(_eval_from_jsonable(rec))
+        elif kind == "fault":
+            log.record_fault(_fault_from_jsonable(rec))
+        else:
+            raise ValueError(f"unknown record kind {kind!r} in run log")
+    return log
+
 
 def save_runlog(log: RunLog, path: PathLike) -> None:
-    """Write a run log as JSONL: a header line, then one record per line."""
+    """Write a run log as JSONL: a header line, then one record per line.
+
+    Output is strict JSON (``allow_nan=False``): non-finite values are
+    tag-encoded, so a diverged run's log is still parseable by any reader.
+    """
     path = Path(path)
     with path.open("w") as f:
-        f.write(
-            json.dumps({"kind": "header", "name": log.name, "meta": log.meta})
-            + "\n"
-        )
-        for r in log.iterations:
-            f.write(
-                json.dumps(
-                    {
-                        "kind": "iter",
-                        "step": r.step,
-                        "synced": r.synced,
-                        "sim_time": r.sim_time,
-                        "comm_time": r.comm_time,
-                        "loss": None if np.isnan(r.loss) else r.loss,
-                        "grad_change": _encode_float(r.grad_change),
-                        "extra": r.extra,
-                    }
-                )
-                + "\n"
-            )
-        for e in log.evals:
-            f.write(
-                json.dumps(
-                    {
-                        "kind": "eval",
-                        "step": e.step,
-                        "epoch": e.epoch,
-                        "sim_time": e.sim_time,
-                        "metric": e.metric,
-                        "metric_name": e.metric_name,
-                    }
-                )
-                + "\n"
-            )
+        for rec in runlog_to_jsonable(log):
+            f.write(json.dumps(rec, allow_nan=False) + "\n")
 
 
 def load_runlog(path: PathLike) -> RunLog:
     """Inverse of :func:`save_runlog`."""
     path = Path(path)
-    log = RunLog()
+    records = []
     with path.open() as f:
         for line in f:
             line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            kind = rec.pop("kind")
-            if kind == "header":
-                log.name = rec["name"]
-                log.meta = rec.get("meta", {})
-            elif kind == "iter":
-                log.record_iteration(
-                    IterationRecord(
-                        step=rec["step"],
-                        synced=rec["synced"],
-                        sim_time=rec["sim_time"],
-                        comm_time=rec["comm_time"],
-                        loss=float("nan") if rec["loss"] is None else rec["loss"],
-                        grad_change=_decode_float(rec["grad_change"]),
-                        extra=rec.get("extra", {}),
-                    )
-                )
-            elif kind == "eval":
-                log.record_eval(EvalRecord(**rec))
-            else:
-                raise ValueError(f"unknown record kind {kind!r} in {path}")
-    return log
+            if line:
+                records.append(json.loads(line))
+    try:
+        return runlog_from_jsonable(records)
+    except ValueError as e:
+        raise ValueError(f"{e} ({path})") from None
 
 
 def _encode_float(x):
-    """JSON has no inf/nan; encode them as strings."""
+    """JSON has no inf/nan; encode them as strings (legacy top-level form,
+    kept for the ``grad_change`` field's file-format compatibility). For
+    nested structures use :func:`encode_jsonable`."""
     if x is None:
         return None
     if np.isnan(x):
@@ -110,6 +228,9 @@ def _decode_float(x):
     if isinstance(x, str):
         return float(x)
     return float(x)
+
+
+# -- models ------------------------------------------------------------------
 
 
 def save_model(model: Module, path: PathLike) -> None:
@@ -129,3 +250,66 @@ def load_model(model: Module, path: PathLike) -> Module:
         state: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
     model.load_state_dict(state)
     return model
+
+
+# -- checkpoints -------------------------------------------------------------
+#
+# A checkpoint is an arbitrary tree of dicts/lists whose leaves are JSON
+# scalars or numpy arrays. Arrays are hoisted into npz entries and replaced
+# in the JSON tree by {"__ndarray__": index}; everything else goes through
+# the non-finite-safe encoder. One .npz file holds both.
+
+
+def _hoist_arrays(obj: Any, arrays: List[np.ndarray]) -> Any:
+    if isinstance(obj, np.ndarray):
+        arrays.append(obj)
+        return {_NDARRAY_TAG: len(arrays) - 1}
+    if isinstance(obj, dict):
+        return {str(k): _hoist_arrays(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_hoist_arrays(v, arrays) for v in obj]
+    return encode_jsonable(obj)
+
+
+def _lower_arrays(obj: Any, arrays: Dict[int, np.ndarray]) -> Any:
+    if isinstance(obj, dict):
+        if set(obj) == {_NDARRAY_TAG}:
+            return arrays[int(obj[_NDARRAY_TAG])]
+        if set(obj) == {_NONFINITE_TAG}:
+            return float(obj[_NONFINITE_TAG])
+        return {k: _lower_arrays(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_lower_arrays(v, arrays) for v in obj]
+    return obj
+
+
+def save_checkpoint(state: Dict, path: PathLike) -> None:
+    """Persist a checkpoint tree (dicts/lists of arrays and scalars).
+
+    Written atomically: the file is complete or absent, never torn — a kill
+    mid-checkpoint must not destroy the previous good checkpoint.
+    """
+    path = Path(path)
+    arrays: List[np.ndarray] = []
+    tree = _hoist_arrays(state, arrays)
+    payload = {f"arr_{i}": a for i, a in enumerate(arrays)}
+    payload["__tree__"] = np.frombuffer(
+        json.dumps(tree, allow_nan=False).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as f:
+        np.savez_compressed(f, **payload)
+    tmp.replace(path)
+
+
+def load_checkpoint(path: PathLike) -> Dict:
+    """Inverse of :func:`save_checkpoint`."""
+    path = Path(path)
+    with np.load(path) as data:
+        tree = json.loads(bytes(data["__tree__"]).decode("utf-8"))
+        arrays = {
+            int(k[4:]): data[k] for k in data.files if k.startswith("arr_")
+        }
+        # Materialize now: the npz file handle closes on exit.
+        arrays = {i: np.array(a, copy=True) for i, a in arrays.items()}
+    return _lower_arrays(tree, arrays)

@@ -1,0 +1,214 @@
+"""Kill-and-resume tests: a resumed run must be bitwise identical.
+
+The contract under test: checkpoint at step K, simulate a kill
+(``stop_after``), resume from the file with the *same full config* — and the
+continuation reproduces the uninterrupted run exactly: parameters, losses,
+simulated clock (jitter RNG stream) and fault records all match to the bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BSPTrainer,
+    ClusterConfig,
+    EASGDTrainer,
+    FedAvgTrainer,
+    LocalSGDTrainer,
+    SSPTrainer,
+    SelSyncTrainer,
+    TrainConfig,
+)
+from repro.cluster.worker import build_worker_group
+from repro.data import ArrayDataset, BatchLoader, selsync_partition
+from repro.nn.models import build_model
+from repro.optim import SGD
+
+N_WORKERS = 4
+N_STEPS = 12
+KILL_AT = 6
+
+
+def _mlp_workers(n=N_WORKERS, lr=0.1, n_samples=64):
+    rng = np.random.default_rng(0)
+    ds = ArrayDataset(rng.normal(size=(n_samples, 8)), rng.integers(0, 3, n_samples))
+    part = selsync_partition(n_samples, n, rng=1)
+    loaders = BatchLoader.for_workers(ds, part, batch_size=8, seed=2)
+    return build_worker_group(
+        n,
+        lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+        lambda m: SGD(m, lr=lr, momentum=0.9),
+        loaders,
+    )
+
+
+TRAINERS = {
+    "bsp": lambda w, c: BSPTrainer(w, c),
+    "selsync": lambda w, c: SelSyncTrainer(w, c, delta=0.1),
+    "fedavg": lambda w, c: FedAvgTrainer(w, c, c_fraction=0.75),
+    "easgd": lambda w, c: EASGDTrainer(w, c, rho=0.1, tau=3),
+    "localsgd": lambda w, c: LocalSGDTrainer(w, c),
+}
+
+
+def _build(kind, **cluster_kw):
+    workers = _mlp_workers()
+    cluster = ClusterConfig(
+        n_workers=N_WORKERS, comm_bytes=1e6, flops_per_sample=1e6, **cluster_kw
+    )
+    return workers, TRAINERS[kind](workers, cluster)
+
+
+def _fingerprint(workers, res):
+    return (
+        [w.get_params() for w in workers],
+        [r.loss for r in res.log.iterations],
+        [r.sim_time for r in res.log.iterations],
+        [(f.step, f.worker, f.kind) for f in res.log.faults],
+    )
+
+
+def _assert_same(a, b):
+    for pa, pb in zip(a[0], b[0]):
+        np.testing.assert_array_equal(pa, pb)
+    assert a[1] == b[1]  # losses, bitwise (floats compared exactly)
+    assert a[2] == b[2]  # per-step sim times: the jitter RNG stream matches
+    assert a[3] == b[3]  # fault records
+
+
+class TestBitwiseResume:
+    @pytest.mark.parametrize("kind", sorted(TRAINERS))
+    def test_kill_and_resume_is_bitwise_identical(self, kind, tmp_path):
+        ck = str(tmp_path / "ck.npz")
+        workers_a, trainer_a = _build(kind)
+        res_a = trainer_a.run(TrainConfig(n_steps=N_STEPS, eval_fn=None))
+
+        # Same full config, but checkpoint at KILL_AT and die right after.
+        workers_b, trainer_b = _build(kind)
+        trainer_b.run(
+            TrainConfig(
+                n_steps=N_STEPS,
+                eval_fn=None,
+                checkpoint_every=KILL_AT,
+                checkpoint_path=ck,
+                stop_after=KILL_AT,
+            )
+        )
+
+        workers_c, trainer_c = _build(kind)
+        res_c = trainer_c.run(
+            TrainConfig(n_steps=N_STEPS, eval_fn=None, resume_from=ck)
+        )
+        assert res_c.steps == N_STEPS
+        _assert_same(_fingerprint(workers_a, res_a), _fingerprint(workers_c, res_c))
+
+    def test_faulted_run_resumes_identically(self, tmp_path):
+        """Fault draws are keyed on (seed, worker, step), so the injector
+        needs no checkpoint state of its own — the resumed half replays the
+        exact same crash/straggle/drop sequence.
+
+        Both runs checkpoint identically: a rejoining worker restores from
+        the latest checkpoint when one exists, so checkpoint cadence is part
+        of the trajectory and must match between the two runs.
+        """
+        ck_a = str(tmp_path / "a.npz")
+        ck = str(tmp_path / "ck.npz")
+        spec = dict(fault_spec="crash:w2@3-8,straggle:w0x3@2+,drop:p=0.2",
+                    min_quorum=2)
+        workers_a, trainer_a = _build("selsync", **spec)
+        res_a = trainer_a.run(
+            TrainConfig(n_steps=N_STEPS, eval_fn=None,
+                        checkpoint_every=KILL_AT, checkpoint_path=ck_a)
+        )
+
+        workers_b, trainer_b = _build("selsync", **spec)
+        trainer_b.run(
+            TrainConfig(
+                n_steps=N_STEPS,
+                eval_fn=None,
+                checkpoint_every=KILL_AT,
+                checkpoint_path=ck,
+                stop_after=KILL_AT,
+            )
+        )
+
+        workers_c, trainer_c = _build("selsync", **spec)
+        res_c = trainer_c.run(
+            TrainConfig(n_steps=N_STEPS, eval_fn=None, resume_from=ck,
+                        checkpoint_every=KILL_AT, checkpoint_path=ck)
+        )
+        _assert_same(_fingerprint(workers_a, res_a), _fingerprint(workers_c, res_c))
+        assert res_a.log.n_faults > 0  # the plan actually fired
+
+    def test_resumed_log_contains_pre_kill_records(self, tmp_path):
+        ck = str(tmp_path / "ck.npz")
+        workers, trainer = _build("bsp")
+        trainer.run(
+            TrainConfig(
+                n_steps=N_STEPS, eval_fn=None,
+                checkpoint_every=KILL_AT, checkpoint_path=ck, stop_after=KILL_AT,
+            )
+        )
+        workers2, trainer2 = _build("bsp")
+        res = trainer2.run(TrainConfig(n_steps=N_STEPS, eval_fn=None, resume_from=ck))
+        # One contiguous history: steps 0..N-1 once each, no gap or overlap.
+        assert [r.step for r in res.log.iterations] == list(range(N_STEPS))
+
+
+class TestRejoinFromCheckpoint:
+    def test_rejoining_worker_restores_from_latest_checkpoint(self, tmp_path):
+        """With periodic checkpoints, a crashed worker rejoins from the
+        latest snapshot (from_checkpoint=1) instead of a peer-mean reseed."""
+        ck = str(tmp_path / "ck.npz")
+        workers, trainer = _build(
+            "selsync", fault_spec="crash:w2@4-8", min_quorum=2
+        )
+        res = trainer.run(
+            TrainConfig(
+                n_steps=N_STEPS, eval_fn=None,
+                checkpoint_every=2, checkpoint_path=ck,
+            )
+        )
+        rejoins = res.log.faults_of_kind("rejoin")
+        assert [(f.step, f.worker) for f in rejoins] == [(8, 2)]
+        assert rejoins[0].detail["from_checkpoint"] == 1
+
+    def test_rejoin_without_checkpoint_reseeds_from_peers(self):
+        workers, trainer = _build(
+            "selsync", fault_spec="crash:w2@4-8", min_quorum=2
+        )
+        res = trainer.run(TrainConfig(n_steps=N_STEPS, eval_fn=None))
+        rejoins = res.log.faults_of_kind("rejoin")
+        assert [(f.step, f.worker) for f in rejoins] == [(8, 2)]
+        assert rejoins[0].detail["from_checkpoint"] == 0
+
+
+class TestGuards:
+    def test_ssp_rejects_checkpointing(self, tmp_path):
+        ck = str(tmp_path / "ck.npz")
+        workers = _mlp_workers()
+        cluster = ClusterConfig(n_workers=N_WORKERS, comm_bytes=1e6,
+                                flops_per_sample=1e6)
+        trainer = SSPTrainer(workers, cluster, staleness=10)
+        with pytest.raises(NotImplementedError, match="event-driven"):
+            trainer.run(
+                TrainConfig(n_steps=4, eval_fn=None,
+                            checkpoint_every=2, checkpoint_path=ck)
+            )
+        with pytest.raises(NotImplementedError, match="event-driven"):
+            trainer.run(TrainConfig(n_steps=4, eval_fn=None, resume_from=ck))
+
+    def test_wrong_trainer_rejected_on_resume(self, tmp_path):
+        ck = str(tmp_path / "ck.npz")
+        workers, trainer = _build("bsp")
+        trainer.run(
+            TrainConfig(n_steps=4, eval_fn=None,
+                        checkpoint_every=2, checkpoint_path=ck, stop_after=2)
+        )
+        workers2, trainer2 = _build("selsync")
+        with pytest.raises(ValueError, match="written by trainer"):
+            trainer2.run(TrainConfig(n_steps=4, eval_fn=None, resume_from=ck))
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            TrainConfig(n_steps=4, checkpoint_every=2)

@@ -1,13 +1,21 @@
-"""Tests for run-log and model serialization."""
+"""Tests for run-log, checkpoint and model serialization."""
+
+import json
 
 import numpy as np
 import pytest
 
+from repro.core.grad_tracker import RelativeGradChange
 from repro.nn.models import build_model
-from repro.utils.runlog import EvalRecord, IterationRecord, RunLog
+from repro.utils.ewma import Ewma
+from repro.utils.runlog import EvalRecord, FaultRecord, IterationRecord, RunLog
 from repro.utils.serialization import (
+    decode_jsonable,
+    encode_jsonable,
+    load_checkpoint,
     load_model,
     load_runlog,
+    save_checkpoint,
     save_model,
     save_runlog,
 )
@@ -68,6 +76,107 @@ class TestRunlogRoundtrip:
         back = load_runlog(p)
         assert back.lssr() == res.log.lssr()
         assert np.allclose(back.grad_changes(), res.log.grad_changes())
+
+
+class TestNestedNonFinite:
+    """Regression: the old encoder only handled top-level floats, silently
+    writing invalid strict JSON for nan/inf nested inside dicts or lists."""
+
+    def test_nested_nan_and_inf_round_trip(self):
+        tree = {
+            "metrics": {"loss": float("nan"), "scale": [1.0, float("inf")]},
+            "trace": [{"d": float("-inf")}, {"d": 0.5}],
+            "n": 3,
+        }
+        back = decode_jsonable(json.loads(
+            json.dumps(encode_jsonable(tree), allow_nan=False)
+        ))
+        assert np.isnan(back["metrics"]["loss"])
+        assert back["metrics"]["scale"] == [1.0, float("inf")]
+        assert back["trace"][0]["d"] == float("-inf")
+        assert back["trace"][1]["d"] == 0.5
+        assert back["n"] == 3
+
+    def test_numpy_scalars_become_plain_json(self):
+        enc = encode_jsonable(
+            {"i": np.int64(7), "f": np.float32(0.5), "b": np.bool_(True)}
+        )
+        assert enc == {"i": 7, "f": 0.5, "b": True}
+        assert type(enc["i"]) is int and type(enc["f"]) is float
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(TypeError, match="cannot JSON-encode"):
+            encode_jsonable({"x": object()})
+
+    def test_diverged_eval_record_survives_jsonl(self, tmp_path):
+        """An eval metric of nan — a diverged run — must round-trip through
+        the strict-JSON run-log file, not crash the writer."""
+        log = RunLog("diverged")
+        log.record_eval(
+            EvalRecord(step=0, epoch=0.1, sim_time=1.0, metric=float("nan"))
+        )
+        log.record_fault(
+            FaultRecord(step=0, worker=1, kind="corrupt",
+                        detail={"norm": float("inf")})
+        )
+        p = tmp_path / "d.jsonl"
+        save_runlog(log, p)
+        back = load_runlog(p)
+        assert np.isnan(back.evals[0].metric)
+        assert back.faults[0].detail["norm"] == float("inf")
+
+
+class TestCheckpointRoundtrip:
+    def test_mixed_tree_round_trips(self, tmp_path):
+        state = {
+            "version": 1,
+            "params": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "nested": {"vel": np.ones(4, dtype=np.float32), "lr": 0.1},
+            "stack": [np.zeros(2), {"k": float("nan")}],
+            "name": "bsp",
+            "best": None,
+        }
+        p = tmp_path / "ck.npz"
+        save_checkpoint(state, p)
+        back = load_checkpoint(p)
+        np.testing.assert_array_equal(back["params"], state["params"])
+        assert back["params"].dtype == np.float64
+        np.testing.assert_array_equal(back["nested"]["vel"], state["nested"]["vel"])
+        assert back["nested"]["vel"].dtype == np.float32
+        assert back["nested"]["lr"] == 0.1
+        np.testing.assert_array_equal(back["stack"][0], np.zeros(2))
+        assert np.isnan(back["stack"][1]["k"])
+        assert back["name"] == "bsp" and back["best"] is None
+
+    def test_write_is_atomic(self, tmp_path):
+        """The temp file never lingers and the target is complete."""
+        p = tmp_path / "ck.npz"
+        save_checkpoint({"a": np.ones(3)}, p)
+        save_checkpoint({"a": np.zeros(3)}, p)  # overwrite in place
+        assert not (tmp_path / "ck.npz.tmp").exists()
+        np.testing.assert_array_equal(load_checkpoint(p)["a"], np.zeros(3))
+
+
+class TestTrackerStateDicts:
+    def test_ewma_state_round_trips(self):
+        e = Ewma(alpha=0.3, window=5)
+        for x in (1.0, 4.0, 2.5):
+            e.update(x)
+        e2 = Ewma(alpha=0.3, window=5)
+        e2.load_state_dict(e.state_dict())
+        assert e2.value == e.value and e2.n_samples == e.n_samples
+        assert e2.update(7.0) == e.update(7.0)
+
+    def test_grad_tracker_state_round_trips(self):
+        t = RelativeGradChange(alpha=0.2, window=4)
+        for g in (1.0, 2.0, 1.5, 3.0):
+            t.update(g)
+        t2 = RelativeGradChange(alpha=0.2, window=4)
+        t2.load_state_dict(t.state_dict())
+        assert t2.last_delta == t.last_delta
+        assert t2.n_updates == t.n_updates
+        assert t2.update(2.5) == t.update(2.5)
+        assert t2.max_delta == t.max_delta
 
 
 class TestModelRoundtrip:
