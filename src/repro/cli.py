@@ -119,12 +119,18 @@ def _build(args, spec: MethodSpec):
 def cmd_run(args) -> int:
     spec = _method_spec(args)
     built = _build(args, spec)
+    tracer = None
+    if args.trace or args.trace_path or args.metrics_summary:
+        from repro.obs import Tracer
+
+        tracer = Tracer(path=args.trace_path, name=spec.kind)
     res = run_method(
         spec, built, n_steps=args.steps, eval_every=args.eval_every,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
         resume_from=args.resume,
         stop_after=args.stop_after,
+        tracer=tracer,
     )
     rows = [
         ["method", spec.display],
@@ -138,6 +144,24 @@ def cmd_run(args) -> int:
     if res.log.faults:
         rows.append(["n_faults", res.log.n_faults])
     print(render_table(["field", "value"], rows))
+    if tracer is not None:
+        tracer.close()
+        from repro.experiments.reporting import render_run_dashboard
+
+        print(render_run_dashboard(tracer))
+        if args.trace_path:
+            print(f"trace written to {args.trace_path}")
+        if args.metrics_summary:
+            import json
+
+            from repro.utils.serialization import encode_jsonable
+
+            with open(args.metrics_summary, "w") as f:
+                json.dump(
+                    encode_jsonable(tracer.metrics.summary()),
+                    f, indent=2, sort_keys=True,
+                )
+            print(f"metrics summary written to {args.metrics_summary}")
     if args.save_log:
         save_runlog(res.log, args.save_log)
         print(f"run log written to {args.save_log}")
@@ -288,6 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after", type=int, default=None, metavar="K",
         help="simulate a crash: abort right after step K (keep all other "
         "flags identical to the full run, then --resume the checkpoint)",
+    )
+    p_run.add_argument(
+        "--trace", action="store_true",
+        help="record a structured event trace and print the run dashboard "
+        "(traces are deterministic: byte-identical across executors)",
+    )
+    p_run.add_argument(
+        "--trace-path", default=None, metavar="FILE",
+        help="write the event trace as JSONL here (implies --trace)",
+    )
+    p_run.add_argument(
+        "--metrics-summary", default=None, metavar="FILE",
+        help="write the metrics registry summary as JSON here (implies --trace)",
     )
     p_run.set_defaults(fn=cmd_run)
 

@@ -26,14 +26,39 @@ speed, which is why ``serial`` stays the default.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 Batch = Tuple[np.ndarray, np.ndarray]
 
 EXECUTOR_KINDS = ("serial", "threaded")
+
+
+def _compute_one(worker, batch: Optional[Batch]) -> float:
+    """One worker's forward/backward, with an ``exec_task`` trace event.
+
+    The event deliberately excludes the backend name and (in deterministic
+    mode) any wall-clock timing: the serial and threaded executors must
+    produce byte-identical traces. Emission happens on the thread running
+    the task — safe because each (step, worker) event stream then comes
+    from exactly one thread, which is what keeps per-key ``seq`` numbers
+    deterministic.
+    """
+    tr = obs.active()
+    if tr is None:
+        return worker.compute_gradient(batch)
+    t0 = None if tr.deterministic else time.perf_counter()
+    loss = worker.compute_gradient(batch)
+    data = {"loss": float(loss)}
+    if t0 is not None:
+        data["wall_s"] = time.perf_counter() - t0
+    tr.emit("exec_task", worker=worker.worker_id, **data)
+    return loss
 
 
 class WorkerExecutor:
@@ -68,12 +93,12 @@ class SerialExecutor(WorkerExecutor):
         if batches is None:
             for w in workers:
                 w.draw_batch()
-            return [w.compute_gradient() for w in workers]
+            return [_compute_one(w, None) for w in workers]
         if len(batches) != len(workers):
             raise ValueError(
                 f"got {len(batches)} batches for {len(workers)} workers"
             )
-        return [w.compute_gradient(b) for w, b in zip(workers, batches)]
+        return [_compute_one(w, b) for w, b in zip(workers, batches)]
 
 
 class ThreadedExecutor(WorkerExecutor):
@@ -114,14 +139,14 @@ class ThreadedExecutor(WorkerExecutor):
             # Sequence the data draws on this thread: determinism contract.
             for w in workers:
                 w.draw_batch()
-            futures = [pool.submit(w.compute_gradient) for w in workers]
+            futures = [pool.submit(_compute_one, w, None) for w in workers]
         else:
             if len(batches) != len(workers):
                 raise ValueError(
                     f"got {len(batches)} batches for {len(workers)} workers"
                 )
             futures = [
-                pool.submit(w.compute_gradient, b)
+                pool.submit(_compute_one, w, b)
                 for w, b in zip(workers, batches)
             ]
         return [f.result() for f in futures]

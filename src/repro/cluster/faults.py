@@ -52,6 +52,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 
 class QuorumLostError(RuntimeError):
     """Raised when fewer workers than ``min_quorum`` can contribute to an
@@ -458,6 +460,11 @@ class FaultInjector:
         if retries == 0:
             return 0.0, 0, False
         scaled = transfer_s * self.straggle_factor(worker, step)
+        tr = obs.active()
+        if tr is not None:
+            tr.metrics.inc("faults.upload_retries", retries)
+            if lost:
+                tr.metrics.inc("faults.uploads_lost")
         return retries * scaled + retry_backoff_seconds(retries), retries, lost
 
     # -- corruption -------------------------------------------------------
@@ -469,6 +476,9 @@ class FaultInjector:
     def corrupt_gradient(self, worker: int, step: int, grad: np.ndarray) -> np.ndarray:
         """Return a NaN/inf-poisoned copy of ``grad`` (deterministic burst:
         ~1% of entries NaN, one entry ±inf)."""
+        tr = obs.active()
+        if tr is not None:
+            tr.metrics.inc("faults.corruptions")
         rng = self._event_rng(worker, step, salt=0xC0)
         out = np.array(grad, dtype=np.float64, copy=True)
         n = out.size

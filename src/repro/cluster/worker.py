@@ -6,6 +6,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.data.loader import BatchLoader
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
@@ -91,6 +92,17 @@ class SimWorker:
         self.last_loss = value
         g = self.model.get_flat_grads()
         self.last_grad_sqnorm = float(g @ g)
+        tr = obs.active()
+        if tr is not None:
+            # Metrics only (no event; the executor owns the exec_task
+            # event). Histogram summaries sort their samples, so the
+            # thread interleaving of concurrent workers cannot leak in —
+            # as long as no NaN enters the sort, hence the finite guards.
+            tr.metrics.inc("worker.batches")
+            if np.isfinite(value):
+                tr.metrics.observe("worker.loss", float(value))
+            if np.isfinite(self.last_grad_sqnorm):
+                tr.metrics.observe("worker.grad_sqnorm", self.last_grad_sqnorm)
         return value
 
     # -- updates -----------------------------------------------------------

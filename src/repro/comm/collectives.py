@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.comm.costmodel import allgather_bits_time, p2p_time
 from repro.comm.network import NetworkModel
 from repro.comm.topology import Topology, build_topology
@@ -97,8 +98,10 @@ class SimGroup:
             mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
         payload = float(first.nbytes if nbytes is None else nbytes)
         t = self.topology.sync_time(payload, expected, self.net)
-        self.bytes_synced += int(payload) * expected
+        counted = int(payload) * expected
+        self.bytes_synced += counted
         self.n_syncs += 1
+        self._trace("allreduce", payload, counted, expected, t)
         return mean, t
 
     def charge_sync(self, nbytes: float, n_live: Optional[int] = None) -> float:
@@ -115,8 +118,10 @@ class SimGroup:
         if not 1 <= ranks <= self.n_workers:
             raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
         t = self.topology.sync_time(float(nbytes), ranks, self.net)
-        self.bytes_synced += int(nbytes) * ranks
+        counted = int(nbytes) * ranks
+        self.bytes_synced += counted
         self.n_syncs += 1
+        self._trace("sync", float(nbytes), counted, ranks, t)
         return t
 
     # -- SelSync's flag exchange ------------------------------------------
@@ -128,7 +133,11 @@ class SimGroup:
         if arr.size and not np.isin(arr, (0, 1)).all():
             raise ValueError(f"flags must be 0/1 bits, got {list(flags)}")
         self.n_allgathers += 1
-        return arr, allgather_bits_time(self.n_workers, self.net)
+        t = allgather_bits_time(self.n_workers, self.net)
+        # Flag exchanges are latency traffic; they do not count toward the
+        # full-model ``bytes_synced`` ledger, so ``bytes`` is 0 here.
+        self._trace("allgather_flags", float(self.n_workers), 0, self.n_workers, t)
+        return arr, t
 
     # -- broadcast / p2p -----------------------------------------------------
     def broadcast(self, vector: np.ndarray, nbytes: float = None) -> Tuple[List[np.ndarray], float]:
@@ -137,12 +146,37 @@ class SimGroup:
         # All pulls proceed in parallel, PS egress shared — same as one PS phase.
         t = self.topology.sync_time(payload, self.n_workers, self.net) / 2.0
         copies = [vector.copy() for _ in range(self.n_workers)]
-        self.bytes_synced += int(payload) * self.n_workers
+        counted = int(payload) * self.n_workers
+        self.bytes_synced += counted
+        self._trace("broadcast", payload, counted, self.n_workers, t)
         return copies, t
 
     def p2p(self, payload_nbytes: float) -> float:
         """Timing for one point-to-point transfer (data injection)."""
-        return p2p_time(payload_nbytes, self.net)
+        t = p2p_time(payload_nbytes, self.net)
+        self._trace("p2p", float(payload_nbytes), 0, 2, t)
+        return t
+
+    # -- tracing ----------------------------------------------------------
+    def _trace(
+        self, op: str, payload: float, counted: int, ranks: int, seconds: float
+    ) -> None:
+        """Emit one ``collective`` event when a tracer is installed.
+
+        ``bytes`` is exactly the amount this operation added to
+        :attr:`bytes_synced`, so the trace-wide sum of event ``bytes``
+        equals the counter — the invariant the property tests pin down.
+        """
+        tr = obs.active()
+        if tr is not None:
+            tr.emit(
+                "collective",
+                op=op,
+                payload=payload,
+                bytes=float(counted),
+                ranks=ranks,
+                seconds=seconds,
+            )
 
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> dict:

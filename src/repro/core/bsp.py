@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig
 from repro.core.trainer import DistributedTrainer
@@ -87,6 +88,9 @@ class BSPTrainer(DistributedTrainer):
         mean_grad, t_s = self.group.allreduce_mean(
             grads, nbytes=payload, n_live=len(pushers) if degraded else None
         )
+        tr = obs.active()
+        if tr is not None:
+            tr.emit("aggregation", kind="GA", n_contrib=len(pushers))
         # Retry traffic serializes after the sync (it cannot overlap compute).
         t_s = self.effective_sync_time(t_s, t_c) + t_retry
         lr = self.lr(i)

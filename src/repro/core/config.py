@@ -153,6 +153,12 @@ class TrainConfig:
         the process died there. Everything else — LR schedule, data order,
         jitter stream — is configured exactly as the full run, which is
         what makes a later ``resume_from`` continuation bitwise-identical.
+    tracer:
+        Optional :class:`repro.obs.Tracer` installed for the duration of
+        the run; every instrumented layer (trainers, collectives, network,
+        executor, faults) emits typed events into it. ``None`` (the
+        default) disables tracing entirely — traced-off runs are
+        bitwise-identical to untraced ones.
     """
 
     n_steps: int = 200
@@ -165,6 +171,7 @@ class TrainConfig:
     checkpoint_path: Optional[str] = None
     resume_from: Optional[str] = None
     stop_after: Optional[int] = None
+    tracer: Optional[object] = None
 
     def __post_init__(self):
         if self.n_steps < 1:

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig
 from repro.core.trainer import DistributedTrainer
@@ -95,6 +96,9 @@ class EASGDTrainer(DistributedTrainer):
                 w.set_params(p - self.rho * d)
                 diffs.append(d)
             self.center = self.center + self.rho * np.sum(diffs, axis=0)
+            tr = obs.active()
+            if tr is not None:
+                tr.emit("aggregation", kind="elastic", n_contrib=len(exchangers))
             t_s = self.effective_sync_time(
                 self.group.charge_sync(
                     self.comm_bytes,

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.worker import SimWorker
 from repro.comm.topology import build_topology
 from repro.core.config import ClusterConfig
@@ -107,6 +108,9 @@ class FedAvgTrainer(DistributedTrainer):
                 t_retry = 0.0
             pushed = [self.workers[c].get_params(copy=False) for c in chosen]
             global_params = self.server.aggregate_params(pushed)
+            tr = obs.active()
+            if tr is not None:
+                tr.emit("aggregation", kind="PA", n_contrib=len(chosen))
             # Aggregation involves the C-fraction; the pull-back reaches all
             # (live) workers.
             t_s = self._topology.sync_time(

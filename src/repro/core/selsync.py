@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig
 from repro.core.grad_tracker import RelativeGradChange
@@ -137,16 +138,32 @@ class SelSyncTrainer(DistributedTrainer):
         voter_set = set(voters)
         flags = [0] * len(self.workers)
         deltas = []
+        tr = obs.active()
         for wid in voters:
             d = self.trackers[wid].update(self.workers[wid].last_grad_sqnorm)
             deltas.append(d)
             flags[wid] = 1 if d >= threshold else 0
+            if tr is not None:
+                tr.emit(
+                    "delta_eval",
+                    worker=wid,
+                    delta=float(d),
+                    vote=bool(flags[wid]),
+                    threshold=float(threshold),
+                )
 
         gathered, t_flags = self.group.allgather_flags(flags)
         if self.sync_vote == "any":
             sync = bool(gathered.any())
         else:
             sync = int(gathered.sum()) > len(self.workers) // 2
+        if tr is not None:
+            tr.emit(
+                "sync_decision",
+                synced=bool(sync),
+                n_flags=int(gathered.sum()),
+                vote=self.sync_vote,
+            )
 
         t_s = 0.0
         pushers = voters
@@ -172,6 +189,8 @@ class SelSyncTrainer(DistributedTrainer):
                 t_s = self.group.charge_sync(
                     self.comm_bytes, n_live=len(pushers) if degraded else None
                 )
+                if tr is not None:
+                    tr.emit("aggregation", kind="PA", n_contrib=len(pushers))
                 for w in live_workers:
                     w.set_params(global_params)
         else:  # gradient aggregation
@@ -182,6 +201,8 @@ class SelSyncTrainer(DistributedTrainer):
                 t_s = self.group.charge_sync(
                     self.comm_bytes, n_live=len(pushers) if degraded else None
                 )
+                if tr is not None:
+                    tr.emit("aggregation", kind="GA", n_contrib=len(pushers))
                 # The same averaged gradient lands on *divergent* local
                 # parameters — replicas are NOT re-consistent afterwards.
                 # The mean replaces every live worker's gradient, healing

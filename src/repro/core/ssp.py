@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.simclock import EventQueue
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
@@ -69,7 +70,8 @@ class SSPTrainer(DistributedTrainer):
         log = RunLog(name=self.name)
         self._log = log
         try:
-            return self._run_events(cfg, log)
+            with obs.use(cfg.tracer):
+                return self._run_events(cfg, log)
         finally:
             self._log = None
 
@@ -204,6 +206,41 @@ class SSPTrainer(DistributedTrainer):
                     extra={"worker": float(wid), "staleness": float(iters[wid] - live_min())},
                 )
             )
+            tr = obs.active()
+            if tr is not None:
+                # SSP has no lock-step rounds: the trace's step axis is the
+                # global completion index, each event owned by the worker
+                # whose push landed. The async pull+push is latency traffic
+                # outside the full-model ``bytes_synced`` ledger, hence
+                # ``bytes=0`` (same convention as allgather_flags/p2p).
+                tr.emit(
+                    "collective",
+                    step=completed - 1,
+                    worker=wid,
+                    op="async_pushpull",
+                    payload=float(self.comm_bytes),
+                    bytes=0.0,
+                    ranks=2,
+                    seconds=comm_t,
+                )
+                if apply_update:
+                    tr.emit(
+                        "aggregation",
+                        step=completed - 1,
+                        worker=wid,
+                        kind="async",
+                        n_contrib=1,
+                    )
+                tr.emit(
+                    "step_end",
+                    step=completed - 1,
+                    worker=wid,
+                    synced=False,
+                    sim_time=ev.time - last_time,
+                    comm_time=comm_t,
+                    loss=float(w.last_loss),
+                    extra={"staleness": float(iters[wid] - live_min())},
+                )
             last_time = ev.time
 
             # Periodic evaluation of the global model.
@@ -217,6 +254,15 @@ class SSPTrainer(DistributedTrainer):
                         metric=metric,
                     )
                 )
+                if tr is not None:
+                    tr.emit(
+                        "eval",
+                        step=completed - 1,
+                        metric=metric,
+                        epoch=float(np.mean([ww.epoch for ww in self.workers])),
+                        sim_time=ev.time,
+                        metric_name="metric",
+                    )
                 if best is None:
                     best = metric
                 else:
@@ -262,6 +308,16 @@ class SSPTrainer(DistributedTrainer):
                     metric=final_metric,
                 )
             )
+            tr = obs.active()
+            if tr is not None:
+                tr.emit(
+                    "eval",
+                    step=completed - 1,
+                    metric=final_metric,
+                    epoch=float(np.mean([ww.epoch for ww in self.workers])),
+                    sim_time=last_time,
+                    metric_name="metric",
+                )
             if best is None or (
                 final_metric > best if cfg.higher_is_better else final_metric < best
             ):

@@ -12,6 +12,14 @@ Fault-free runs are bitwise-identical to a build without the fault
 subsystem: every fault hook short-circuits when no ``fault_spec`` is set,
 and the compute-jitter RNG is always drawn for the full worker set so the
 stream never shifts.
+
+When ``TrainConfig.tracer`` carries a :class:`repro.obs.Tracer`, the run
+loop emits the step/eval/checkpoint/fault spine of the event trace
+(``step_begin``/``step_end``/``compute_phase``/``eval``/
+``checkpoint_save``/``fault``); trainers and the comm/cluster layers add
+their own events through the same installed tracer. Tracing is purely
+observational — a traced run's arithmetic is bitwise-identical to an
+untraced one.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.faults import QuorumLostError, StepFaults
 from repro.cluster.server import ParameterServer
 from repro.cluster.worker import SimWorker
@@ -145,9 +154,26 @@ class DistributedTrainer:
                 [self.faults.straggle_factor(w, step) for w in range(len(self.workers))]
             )
             times = times * factors
-            if live is not None and len(live) < len(self.workers):
-                times = times[np.asarray(live, dtype=np.intp)]
-        return float(times.max())
+        full_times = times
+        if (
+            self.faults.active
+            and step is not None
+            and live is not None
+            and len(live) < len(self.workers)
+        ):
+            times = times[np.asarray(live, dtype=np.intp)]
+        t_max = float(times.max())
+        tr = obs.active()
+        if tr is not None and step is not None:
+            # Per-worker compute times of this round — the straggler
+            # heatmap's raw data (see repro.obs.views.straggler_matrix).
+            tr.emit(
+                "compute_phase",
+                step=step,
+                times=[float(x) for x in full_times],
+                max=t_max,
+            )
+        return t_max
 
     def effective_sync_time(self, t_s: float, t_c: float) -> float:
         """Apply the configured compute/communication overlap.
@@ -278,6 +304,15 @@ class DistributedTrainer:
     def _record_fault(self, rec: FaultRecord) -> None:
         if self._log is not None:
             self._log.record_fault(rec)
+        tr = obs.active()
+        if tr is not None:
+            tr.emit(
+                "fault",
+                step=rec.step,
+                worker=rec.worker,
+                fault_kind=rec.kind,
+                **rec.detail,
+            )
 
     def _restore_rejoined_worker(self, wid: int, step: int) -> None:
         """Crash-recovery: a rejoining worker restores its rank state from
@@ -395,6 +430,12 @@ class DistributedTrainer:
         stale_evals: int,
         clock: float,
     ) -> None:
+        tr = obs.active()
+        if tr is not None:
+            # The path stays out of the event: a trace must not differ just
+            # because two otherwise-identical runs checkpoint to different
+            # files (golden-trace byte comparisons depend on this).
+            tr.emit("checkpoint_save", step=next_step - 1, next_step=next_step)
         state = self.state_dict()
         self._latest_checkpoint = state
         save_checkpoint(
@@ -439,42 +480,66 @@ class DistributedTrainer:
             start_step, log, best, stale_evals, clock = self._resume(cfg)
         self._log = log
         try:
-            for i in range(start_step, cfg.n_steps):
-                rec = self.step(i)
-                clock += rec.sim_time
-                log.record_iteration(rec)
-                last = i == cfg.n_steps - 1
-                if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
-                    metric = self.evaluate(cfg)
-                    log.record_eval(
-                        EvalRecord(
+            with obs.use(cfg.tracer):
+                tr = obs.active()
+                for i in range(start_step, cfg.n_steps):
+                    if tr is not None:
+                        tr.emit("step_begin", step=i)
+                    rec = self.step(i)
+                    clock += rec.sim_time
+                    log.record_iteration(rec)
+                    if tr is not None:
+                        tr.emit(
+                            "step_end",
                             step=i,
-                            epoch=self.workers[0].epoch,
-                            sim_time=clock,
-                            metric=metric,
-                            metric_name="metric",
+                            synced=rec.synced,
+                            sim_time=rec.sim_time,
+                            comm_time=rec.comm_time,
+                            loss=rec.loss,
+                            grad_change=rec.grad_change,
+                            extra=dict(rec.extra),
                         )
-                    )
-                    if best is None:
-                        improved = True
-                    elif cfg.higher_is_better:
-                        improved = metric > best + cfg.min_improvement
-                    else:
-                        improved = metric < best - cfg.min_improvement
-                    if improved:
-                        best = metric
-                        stale_evals = 0
-                    else:
-                        stale_evals += 1
-                        if cfg.patience is not None and stale_evals >= cfg.patience:
-                            break
-                if (
-                    cfg.checkpoint_every is not None
-                    and (i + 1) % cfg.checkpoint_every == 0
-                ):
-                    self._write_checkpoint(cfg, i + 1, log, best, stale_evals, clock)
-                if cfg.stop_after is not None and (i + 1) >= cfg.stop_after:
-                    break  # simulated kill; the checkpoint is the survivor
+                    last = i == cfg.n_steps - 1
+                    if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
+                        metric = self.evaluate(cfg)
+                        log.record_eval(
+                            EvalRecord(
+                                step=i,
+                                epoch=self.workers[0].epoch,
+                                sim_time=clock,
+                                metric=metric,
+                                metric_name="metric",
+                            )
+                        )
+                        if tr is not None:
+                            tr.emit(
+                                "eval",
+                                step=i,
+                                metric=metric,
+                                epoch=self.workers[0].epoch,
+                                sim_time=clock,
+                                metric_name="metric",
+                            )
+                        if best is None:
+                            improved = True
+                        elif cfg.higher_is_better:
+                            improved = metric > best + cfg.min_improvement
+                        else:
+                            improved = metric < best - cfg.min_improvement
+                        if improved:
+                            best = metric
+                            stale_evals = 0
+                        else:
+                            stale_evals += 1
+                            if cfg.patience is not None and stale_evals >= cfg.patience:
+                                break
+                    if (
+                        cfg.checkpoint_every is not None
+                        and (i + 1) % cfg.checkpoint_every == 0
+                    ):
+                        self._write_checkpoint(cfg, i + 1, log, best, stale_evals, clock)
+                    if cfg.stop_after is not None and (i + 1) >= cfg.stop_after:
+                        break  # simulated kill; the checkpoint is the survivor
         finally:
             self._log = None
         final = log.final_metric() if log.evals else None

@@ -66,3 +66,86 @@ def render_table1(rows) -> str:
         for r in rows
     ]
     return render_table(headers, body, title="Table I reproduction")
+
+
+# -- trace dashboard ---------------------------------------------------------
+
+#: Shade ramp for the straggler heatmap (light → dark = fast → slow).
+_SHADES = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Downsample ``values`` into a ``width``-column unicode-free sparkline."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # Bucket-mean downsample to the target width.
+        step = len(vals) / width
+        vals = [
+            sum(vals[int(i * step): max(int(i * step) + 1, int((i + 1) * step))])
+            / max(1, len(vals[int(i * step): max(int(i * step) + 1, int((i + 1) * step))]))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SHADES[len(_SHADES) // 2] * len(vals)
+    return "".join(
+        _SHADES[min(len(_SHADES) - 1, int((v - lo) / span * (len(_SHADES) - 1)))]
+        for v in vals
+    )
+
+
+def render_run_dashboard(tracer) -> str:
+    """Ascii per-run dashboard over a closed (or in-memory) trace.
+
+    Sections: headline ratios (sync ratio, bytes/step), per-collective
+    traffic, a step-time sparkline, and a straggler heatmap (workers ×
+    time buckets, darker = relatively slower that bucket).
+    """
+    from repro.obs import views
+
+    events = tracer.events
+    lines = [f"== run dashboard: {tracer.name} =="]
+    steps = views.events_of_type(events, "step_end")
+    if not steps:
+        return "\n".join(lines + ["(no step events in trace)"])
+    ratio = views.sync_ratio(events)
+    bps = views.bytes_per_step(events)
+    lines.append(
+        f"steps: {len(steps)}   sync ratio: {fmt(ratio)}   "
+        f"bytes/step: {fmt(bps)}"
+    )
+    totals = views.collective_totals(events)
+    if totals:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["collective", "count", "bytes", "sim_seconds"],
+                [
+                    [op, t["count"], t["bytes"], t["seconds"]]
+                    for op, t in sorted(totals.items())
+                ],
+            )
+        )
+    sim_times = [e.data.get("sim_time", 0.0) for e in steps]
+    lines.append("")
+    lines.append(f"step sim_time: [{sparkline(sim_times)}]")
+    matrix = views.straggler_matrix(events)
+    if matrix is not None and len(matrix):
+        finite = [v for row in matrix for v in row if v == v]
+        lo = min(finite) if finite else 0.0
+        hi = max(finite) if finite else 1.0
+        span = (hi - lo) or 1.0
+        lines.append("")
+        lines.append("straggler heatmap (rows=workers, cols=time, dark=slow):")
+        for wid, row in enumerate(matrix):
+            cells = "".join(
+                "?" if v != v else _SHADES[
+                    min(len(_SHADES) - 1, int((v - lo) / span * (len(_SHADES) - 1)))
+                ]
+                for v in row
+            )
+            lines.append(f"  w{wid:<3d} |{cells}|")
+    return "\n".join(lines)

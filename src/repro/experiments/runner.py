@@ -71,10 +71,19 @@ def run_method(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     stop_after: Optional[int] = None,
+    tracer=None,
 ) -> TrainResult:
     """Run one method on an already-built workload (workers are consumed:
-    rebuild the workload for the next method so everyone starts fresh)."""
+    rebuild the workload for the next method so everyone starts fresh).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is installed for the run and
+    receives the reproducibility manifest as its metadata; the caller owns
+    its lifecycle (``close()`` flushes the JSONL sink).
+    """
     trainer = build_trainer(spec, built)
+    manifest = _manifest(spec, built, n_steps)
+    if tracer is not None and not tracer.meta:
+        tracer.meta = manifest
     cfg = TrainConfig(
         n_steps=n_steps,
         eval_every=eval_every,
@@ -87,9 +96,10 @@ def run_method(
         checkpoint_path=checkpoint_path,
         resume_from=resume_from,
         stop_after=stop_after,
+        tracer=tracer,
     )
     result = trainer.run(cfg)
-    result.log.meta = _manifest(spec, built, n_steps)
+    result.log.meta = manifest
     return result
 
 

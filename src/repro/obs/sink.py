@@ -1,0 +1,111 @@
+"""Trace persistence: deterministic JSONL writing, reading and validation.
+
+One header line followed by one event per line, sorted by ``(step, worker,
+seq)``. Serialization is byte-deterministic: keys are emitted in a fixed
+order, floats use :func:`repr`-faithful ``json.dumps`` formatting, and
+non-finite values go through the tag encoding of
+:mod:`repro.utils.serialization` so strict JSON parsers can read a diverged
+run's trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceEvent
+from repro.utils.serialization import decode_jsonable, encode_jsonable
+
+PathLike = Union[str, Path]
+
+
+def event_to_jsonable(ev: TraceEvent) -> Dict:
+    """One event as a strict-JSON-safe dict with a fixed key order."""
+    return {
+        "etype": ev.etype,
+        "step": ev.step,
+        "worker": ev.worker,
+        "seq": ev.seq,
+        "data": encode_jsonable(ev.data),
+    }
+
+
+def event_from_jsonable(rec: Dict) -> TraceEvent:
+    return TraceEvent(
+        etype=rec["etype"],
+        step=int(rec["step"]),
+        worker=int(rec["worker"]),
+        seq=int(rec["seq"]),
+        data=decode_jsonable(rec.get("data", {})),
+    )
+
+
+def event_line(ev: TraceEvent) -> str:
+    """The canonical serialized form of one event (no newline).
+
+    ``sort_keys`` makes the byte layout independent of dict build order
+    inside ``data`` — the trace's byte-identity guarantees rest on it.
+    """
+    return json.dumps(event_to_jsonable(ev), sort_keys=True, allow_nan=False)
+
+
+def write_trace(path: PathLike, header: Dict, events: Iterable[TraceEvent]) -> None:
+    """Write header + events as JSONL. Events must already be in canonical
+    order (:attr:`repro.obs.trace.Tracer.events` returns them sorted)."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(json.dumps(header, sort_keys=True, allow_nan=False) + "\n")
+        for ev in events:
+            f.write(event_line(ev) + "\n")
+
+
+def read_trace(path: PathLike) -> Tuple[Dict, List[TraceEvent]]:
+    """Parse a trace file back into ``(header, events)``.
+
+    Validates the schema version and that events arrive in canonical order
+    — an out-of-order trace means some writer bypassed the sorted flush,
+    which would silently break every downstream byte comparison.
+    """
+    path = Path(path)
+    header: Dict = {}
+    events: List[TraceEvent] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if lineno == 0:
+                if rec.get("kind") != "header":
+                    raise ValueError(f"{path}: first line is not a trace header")
+                if rec.get("schema") != TRACE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: trace schema {rec.get('schema')} != "
+                        f"{TRACE_SCHEMA_VERSION}"
+                    )
+                header = rec
+                continue
+            events.append(event_from_jsonable(rec))
+    for prev, cur in zip(events, events[1:]):
+        if cur.key < prev.key:
+            raise ValueError(
+                f"{path}: events out of canonical order at key {cur.key} "
+                f"after {prev.key}"
+            )
+    return header, events
+
+
+def event_lines(path: PathLike) -> List[str]:
+    """Raw event lines (header excluded) — the unit of byte comparison for
+    golden-trace tests: an interrupted run's lines plus its resumed run's
+    lines must equal the uninterrupted run's lines exactly."""
+    with Path(path).open() as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    return lines[1:]
+
+
+def roundtrip(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """parse(serialize(events)) — the property tests assert this is the
+    identity on (etype, step, worker, seq, data)."""
+    return [event_from_jsonable(json.loads(event_line(ev))) for ev in events]

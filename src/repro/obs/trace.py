@@ -1,0 +1,229 @@
+"""Structured run tracing: typed, schema-versioned span/event records.
+
+Every component of the simulation — trainers, collectives, executors, the
+fault injector — emits :class:`TraceEvent` records through one
+:class:`Tracer`. The trace is the ground truth of a run; the per-run summary
+(:class:`~repro.utils.runlog.RunLog`) is a derived view over it
+(:func:`repro.obs.views.runlog_from_trace`).
+
+Determinism contract
+--------------------
+In deterministic mode (the default) a trace is **byte-identical** across
+the serial and threaded executors and across a checkpoint/resume boundary:
+
+* Events are keyed by ``(step, worker, seq)``: ``seq`` is a per-(step,
+  worker) counter, so two events of the same logical stream keep their
+  emission order, while streams of different workers are independent of
+  thread interleaving.
+* The buffer is sorted by that key at flush; file order never reflects
+  emission order.
+* No wall-clock timestamps are recorded. Passing ``deterministic=False``
+  adds a ``t_wall`` field to every event (useful for profiling real
+  elapsed time, never for regression comparison).
+* Only *step-scoped* events are written. Run-level aggregates live in the
+  :class:`~repro.obs.metrics.MetricsRegistry`; a resumed run's event lines
+  therefore concatenate with the interrupted run's to reproduce the
+  uninterrupted trace exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Trace file schema version; bump on any incompatible record change.
+TRACE_SCHEMA_VERSION = 1
+
+#: Known event types. Emitting an unknown type raises — the schema is the
+#: contract every figure benchmark asserts against, so it must not drift
+#: silently.
+EVENT_TYPES = (
+    "step_begin",       # coordinator opens step i
+    "step_end",         # step i closed: synced/sim_time/comm_time/loss/...
+    "compute_phase",    # per-worker simulated compute times for the round
+    "exec_task",        # one worker's gradient task ran (executor backend)
+    "delta_eval",       # SelSync: one worker's Δ(g) value and vote
+    "sync_decision",    # SelSync: the cluster-wide vote outcome
+    "aggregation",      # one aggregation round (PA/GA/elastic/async)
+    "collective",       # one collective op: payload bytes + simulated cost
+    "fault",            # injected/observed fault (crash/rejoin/straggle/...)
+    "checkpoint_save",  # trainer state snapshot written
+    "eval",             # periodic evaluation of the deployable model
+)
+
+#: Aggregation kinds carried by ``aggregation`` events.
+AGGREGATION_KINDS = ("PA", "GA", "elastic", "async")
+
+
+@dataclass
+class TraceEvent:
+    """One typed trace record.
+
+    Attributes
+    ----------
+    etype:
+        One of :data:`EVENT_TYPES`.
+    step:
+        Global step index the event belongs to (-1 for pre-run events).
+    worker:
+        Worker id, or -1 for coordinator/cluster-scoped events.
+    seq:
+        Per-(step, worker) emission counter; makes the sort key total.
+    data:
+        Event-specific payload (JSON-safe scalars/lists only).
+    """
+
+    etype: str
+    step: int
+    worker: int = -1
+    seq: int = 0
+    data: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.etype not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown trace event type {self.etype!r}; "
+                f"expected one of {EVENT_TYPES}"
+            )
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.step, self.worker, self.seq)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and derives metrics from them.
+
+    Parameters
+    ----------
+    path:
+        JSONL sink written by :meth:`close` (``None`` keeps the trace
+        in memory only — the events remain accessible via :attr:`events`).
+    name:
+        Run name recorded in the trace header.
+    deterministic:
+        Forbid wall-clock fields (see the module docstring). Default True.
+    meta:
+        Extra header fields (the experiment runner stores its
+        reproducibility manifest here).
+    """
+
+    def __init__(
+        self,
+        path=None,
+        name: str = "run",
+        deterministic: bool = True,
+        meta: Optional[Dict] = None,
+    ):
+        self.path = path
+        self.name = name
+        self.deterministic = bool(deterministic)
+        self.meta: Dict = dict(meta) if meta else {}
+        self.metrics = MetricsRegistry()
+        self._buffer: List[TraceEvent] = []
+        self._seq: Dict[Tuple[int, int], int] = {}
+        self._lock = threading.Lock()
+        self._current_step: int = -1
+        self._closed = False
+
+    # -- step scoping ------------------------------------------------------
+    @property
+    def current_step(self) -> int:
+        """Step currently in flight (set by the ``step_begin`` event)."""
+        return self._current_step
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, etype: str, step: Optional[int] = None, worker: int = -1, **data):
+        """Record one event.
+
+        ``step=None`` scopes the event to the step currently in flight —
+        that is how components below the trainer (collectives, network,
+        executor) attach their events without threading a step id through
+        every call signature.
+        """
+        if self._closed:
+            raise RuntimeError("tracer is closed")
+        if step is None:
+            step = self._current_step
+        ev = TraceEvent(etype=etype, step=int(step), worker=int(worker), data=data)
+        if not self.deterministic:
+            ev.data["t_wall"] = time.monotonic()
+        with self._lock:
+            key = (ev.step, ev.worker)
+            ev.seq = self._seq.get(key, 0)
+            self._seq[key] = ev.seq + 1
+            self._buffer.append(ev)
+        self._derive_metrics(ev)
+        if etype == "step_begin":
+            self._current_step = ev.step
+        return ev
+
+    def _derive_metrics(self, ev: TraceEvent) -> None:
+        """Standard metrics every run gets for free, derived per event.
+
+        The ``comm.bytes`` counter sums exactly the ``bytes`` field of
+        ``collective`` events, so the invariant *sum of per-collective
+        payload bytes == run-summary bytes counter* holds by construction
+        (and is still asserted by the property tests — a refactor that
+        breaks it should fail loudly).
+        """
+        m = self.metrics
+        m.inc("events.total")
+        m.inc(f"events.{ev.etype}")
+        d = ev.data
+        if ev.etype == "collective":
+            m.inc("comm.bytes", float(d.get("bytes", 0.0)))
+            m.observe("comm.seconds", float(d.get("seconds", 0.0)))
+        elif ev.etype == "step_end":
+            m.observe("step.sim_time", float(d.get("sim_time", 0.0)))
+            m.observe("step.comm_time", float(d.get("comm_time", 0.0)))
+            m.inc("steps.synced" if d.get("synced") else "steps.local")
+        elif ev.etype == "delta_eval":
+            val = float(d.get("delta", float("nan")))
+            # Non-finite Δ values (first EWMA update, corrupted gradients)
+            # stay out of the histogram: sorting a list containing NaN is
+            # insertion-order dependent, which would leak thread timing
+            # into the summary.
+            if math.isfinite(val):
+                m.observe("delta.value", val)
+            if d.get("vote"):
+                m.inc("delta.votes")
+        elif ev.etype == "fault":
+            m.inc(f"faults.{d.get('fault_kind', 'unknown')}")
+        elif ev.etype == "exec_task":
+            m.inc("executor.tasks")
+        elif ev.etype == "checkpoint_save":
+            m.inc("checkpoint.saves")
+        elif ev.etype == "eval":
+            m.set("eval.last_metric", float(d.get("metric", float("nan"))))
+
+    # -- access / persistence ---------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Events in canonical (step, worker, seq) order."""
+        with self._lock:
+            return sorted(self._buffer, key=lambda e: e.key)
+
+    def header(self) -> Dict:
+        return {
+            "kind": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "deterministic": self.deterministic,
+            "meta": dict(self.meta),
+        }
+
+    def close(self) -> None:
+        """Sort and write the trace to :attr:`path` (if one was given)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.path is not None:
+            from repro.obs.sink import write_trace
+
+            write_trace(self.path, self.header(), self.events)

@@ -1,0 +1,141 @@
+"""Derived views over a trace: run logs and dashboard aggregates.
+
+The trace is the ground truth of a run; everything the reporting layer
+needs — the classic :class:`~repro.utils.runlog.RunLog` summary, sync
+ratios, bytes per step, the straggler heatmap — is recomputed from the
+event stream here, so any consumer can work from a persisted ``.jsonl``
+trace alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.trace import TraceEvent
+from repro.utils.runlog import EvalRecord, FaultRecord, IterationRecord, RunLog
+
+
+def runlog_from_trace(
+    events: Sequence[TraceEvent], name: str = "run", meta: Optional[Dict] = None
+) -> RunLog:
+    """Rebuild a :class:`RunLog` from ``step_end``/``eval``/``fault`` events.
+
+    The result is record-for-record equal to the RunLog the trainer built
+    in memory during the same run (asserted by the obs test suite) — the
+    runlog summary rows are a *view* of the trace, not a second source of
+    truth.
+    """
+    log = RunLog(name=name, meta=meta)
+    for ev in events:
+        d = ev.data
+        if ev.etype == "step_end":
+            log.record_iteration(
+                IterationRecord(
+                    step=ev.step,
+                    synced=bool(d["synced"]),
+                    sim_time=float(d["sim_time"]),
+                    comm_time=float(d.get("comm_time", 0.0)),
+                    loss=float(d.get("loss", float("nan"))),
+                    grad_change=(
+                        None if d.get("grad_change") is None
+                        else float(d["grad_change"])
+                    ),
+                    extra={
+                        k: float(v) for k, v in d.get("extra", {}).items()
+                    },
+                )
+            )
+        elif ev.etype == "eval":
+            log.record_eval(
+                EvalRecord(
+                    step=ev.step,
+                    epoch=float(d.get("epoch", 0.0)),
+                    sim_time=float(d.get("sim_time", 0.0)),
+                    metric=float(d["metric"]),
+                    metric_name=d.get("metric_name", "metric"),
+                )
+            )
+        elif ev.etype == "fault":
+            log.record_fault(
+                FaultRecord(
+                    step=ev.step,
+                    worker=ev.worker,
+                    kind=d["fault_kind"],
+                    detail={k: v for k, v in d.items() if k != "fault_kind"},
+                )
+            )
+    return log
+
+
+def events_of_type(events: Iterable[TraceEvent], etype: str) -> List[TraceEvent]:
+    return [e for e in events if e.etype == etype]
+
+
+def sync_ratio(events: Sequence[TraceEvent]) -> Optional[float]:
+    """Fraction of completed steps that synchronized (1 - LSSR)."""
+    ends = events_of_type(events, "step_end")
+    if not ends:
+        return None
+    return sum(1 for e in ends if e.data.get("synced")) / len(ends)
+
+
+def bytes_per_step(events: Sequence[TraceEvent]) -> Optional[float]:
+    """Mean collective payload bytes per completed step."""
+    ends = events_of_type(events, "step_end")
+    if not ends:
+        return None
+    total = sum(
+        float(e.data.get("bytes", 0.0))
+        for e in events_of_type(events, "collective")
+    )
+    return total / len(ends)
+
+
+def straggler_matrix(
+    events: Sequence[TraceEvent], buckets: int = 24
+) -> Optional[np.ndarray]:
+    """(n_workers, buckets) mean relative compute time per time slice.
+
+    Built from ``compute_phase`` events (per-worker simulated compute
+    times each round). Each cell is the worker's mean compute time in that
+    step bucket divided by the bucket's cluster-wide mean — 1.0 is
+    "average speed", >1 is a straggler. NaN where a worker had no samples
+    (e.g. crashed for the whole bucket).
+    """
+    phases = events_of_type(events, "compute_phase")
+    if not phases:
+        return None
+    n_workers = max(len(e.data.get("times", [])) for e in phases)
+    if n_workers == 0:
+        return None
+    steps = [e.step for e in phases]
+    lo, hi = min(steps), max(steps)
+    buckets = max(1, min(buckets, hi - lo + 1))
+    span = (hi - lo + 1) / buckets
+    sums = np.zeros((n_workers, buckets))
+    counts = np.zeros((n_workers, buckets))
+    for e in phases:
+        times = e.data.get("times", [])
+        if len(times) != n_workers:
+            continue  # degraded round: live-subset times are not comparable
+        b = min(buckets - 1, int((e.step - lo) / span))
+        sums[:, b] += np.asarray(times, dtype=np.float64)
+        counts[:, b] += 1.0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = sums / counts
+        rel = mean / np.nanmean(mean, axis=0, keepdims=True)
+    return rel
+
+
+def collective_totals(events: Sequence[TraceEvent]) -> Dict[str, Dict[str, float]]:
+    """Per-op totals: count, bytes, simulated seconds."""
+    out: Dict[str, Dict[str, float]] = {}
+    for e in events_of_type(events, "collective"):
+        op = e.data.get("op", "?")
+        tot = out.setdefault(op, {"count": 0.0, "bytes": 0.0, "seconds": 0.0})
+        tot["count"] += 1.0
+        tot["bytes"] += float(e.data.get("bytes", 0.0))
+        tot["seconds"] += float(e.data.get("seconds", 0.0))
+    return out

@@ -5,6 +5,12 @@ Every trainer emits one :class:`IterationRecord` per training step into a
 paper's tables and figures (simulated time, LSSR, accuracy trajectories,
 gradient-change traces) without the trainers knowing anything about plotting
 or reporting.
+
+When tracing is enabled (:mod:`repro.obs`), the event trace is the ground
+truth and the run log is a *derived view* over it:
+:func:`repro.obs.views.runlog_from_trace` rebuilds an equivalent ``RunLog``
+from the ``step_end``/``eval``/``fault`` events alone, which the test suite
+asserts record-for-record against the trainer-maintained one.
 """
 
 from __future__ import annotations
@@ -138,6 +144,14 @@ class RunLog:
     @property
     def n_local(self) -> int:
         return self.n_steps - self.n_synced
+
+    @property
+    def sync_ratio(self) -> float:
+        """Fraction of recorded steps that synchronized (0.0 on an empty
+        log). The complement of :meth:`lssr`, convenient for dashboards."""
+        if self.n_steps == 0:
+            return 0.0
+        return self.n_synced / self.n_steps
 
     def lssr(self) -> float:
         """Local-to-synchronous step ratio, Eqn. (4) of the paper.

@@ -1,0 +1,125 @@
+"""Neighbor-set invariants and edge cases for sync topologies.
+
+The :meth:`Topology.neighbors` contract is property-tested across every
+registered topology: no self-loops, all peers in range, links symmetric.
+Structural facts (ring degree, tree connectivity with n-1 edges, PS
+emptiness) are pinned explicitly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.network import NetworkModel
+from repro.comm.topology import (
+    TOPOLOGIES,
+    PSTopology,
+    RingTopology,
+    TreeTopology,
+    build_topology,
+)
+
+ALL_NAMES = sorted(TOPOLOGIES.names()) if hasattr(TOPOLOGIES, "names") else [
+    "ps", "ring", "tree"
+]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    name=st.sampled_from(ALL_NAMES),
+    n_workers=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_neighbor_invariants(name, n_workers, data):
+    topo = build_topology(name)
+    rank = data.draw(st.integers(min_value=0, max_value=n_workers - 1))
+    peers = topo.neighbors(rank, n_workers)
+    assert isinstance(peers, frozenset)
+    assert rank not in peers  # no self-loops
+    assert all(0 <= p < n_workers for p in peers)  # in range
+    for p in peers:  # symmetry: every link is seen from both ends
+        assert rank in topo.neighbors(p, n_workers)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_neighbors_validates_arguments(name):
+    topo = build_topology(name)
+    with pytest.raises(ValueError):
+        topo.neighbors(0, 0)
+    with pytest.raises(ValueError):
+        topo.neighbors(-1, 4)
+    with pytest.raises(ValueError):
+        topo.neighbors(4, 4)
+
+
+class TestPS:
+    @pytest.mark.parametrize("n", [1, 2, 7])
+    def test_workers_never_peer_directly(self, n):
+        topo = PSTopology()
+        for r in range(n):
+            assert topo.neighbors(r, n) == frozenset()
+
+
+class TestRing:
+    def test_single_worker_ring_collapses(self):
+        assert RingTopology().neighbors(0, 1) == frozenset()
+
+    def test_two_ring_is_one_link(self):
+        topo = RingTopology()
+        assert topo.neighbors(0, 2) == frozenset({1})
+        assert topo.neighbors(1, 2) == frozenset({0})
+
+    def test_ring_of_five(self):
+        topo = RingTopology()
+        assert topo.neighbors(0, 5) == frozenset({4, 1})
+        assert topo.neighbors(2, 5) == frozenset({1, 3})
+        assert topo.neighbors(4, 5) == frozenset({3, 0})
+
+    @pytest.mark.parametrize("n", [3, 4, 9])
+    def test_every_rank_has_degree_two(self, n):
+        topo = RingTopology()
+        for r in range(n):
+            assert len(topo.neighbors(r, n)) == 2
+
+
+class TestTree:
+    def test_root_children(self):
+        topo = TreeTopology()
+        assert topo.neighbors(0, 7) == frozenset({1, 2})
+        assert topo.neighbors(0, 2) == frozenset({1})
+        assert topo.neighbors(0, 1) == frozenset()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17])
+    def test_connected_with_n_minus_one_edges(self, n):
+        topo = TreeTopology()
+        edges = set()
+        for r in range(n):
+            for p in topo.neighbors(r, n):
+                edges.add(frozenset({r, p}))
+        assert len(edges) == n - 1
+        # BFS from the root reaches every rank → the edge set is one tree.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for r in frontier:
+                for p in topo.neighbors(r, n):
+                    if p not in seen:
+                        seen.add(p)
+                        nxt.append(p)
+            frontier = nxt
+        assert seen == set(range(n))
+
+
+class TestSyncTimeEdges:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_worker_sync_is_free(self, name):
+        assert build_topology(name).sync_time(1e9, 1, NetworkModel()) == 0.0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_monotone_in_payload(self, name):
+        topo = build_topology(name)
+        net = NetworkModel()
+        times = [topo.sync_time(b, 8, net) for b in (0.0, 1e3, 1e6, 1e9)]
+        assert times == sorted(times)
+        assert times[-1] > times[0]

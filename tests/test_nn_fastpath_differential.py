@@ -1,0 +1,344 @@
+"""Differential tests: fastpath kernels vs naive references.
+
+The shift-GEMM convolution (including the stem row-grouping and bias
+folding), the k=2 maxpool shortcut and the ReLU workspace all promise the
+*same arithmetic* as the plain implementations they replace. These tests
+pin that promise against dead-simple loop references — across odd spatial
+shapes, non-contiguous inputs and both float32 and float64 — and against
+the im2col path the fast flag falls back to.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.pooling import MaxPool2d
+from repro.utils import fastpath
+
+
+# -- naive references --------------------------------------------------------
+
+
+def naive_conv2d(x, weight, bias, stride, pad):
+    """Direct convolution loops; the unarguable reference."""
+    n, c, h, w = x.shape
+    o, _, kh, kw = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, o, oh, ow))
+    for y in range(oh):
+        for xx in range(ow):
+            patch = xp[:, :, y * stride : y * stride + kh, xx * stride : xx * stride + kw]
+            out[:, :, y, xx] = np.einsum("ncij,ocij->no", patch, weight)
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def naive_conv2d_grads(x, weight, bias, grad_out, stride, pad):
+    """Loop gradients: (dx, dw, db)."""
+    n, c, h, w = x.shape
+    o, _, kh, kw = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    dxp = np.zeros_like(xp)
+    dw = np.zeros_like(weight)
+    oh, ow = grad_out.shape[2:]
+    for y in range(oh):
+        for xx in range(ow):
+            ys, xs = y * stride, xx * stride
+            patch = xp[:, :, ys : ys + kh, xs : xs + kw]
+            g = grad_out[:, :, y, xx]  # (N, O)
+            dw += np.einsum("no,ncij->ocij", g, patch)
+            dxp[:, :, ys : ys + kh, xs : xs + kw] += np.einsum(
+                "no,ocij->ncij", g, weight
+            )
+    dx = dxp[:, :, pad : pad + h, pad : pad + w] if pad else dxp
+    db = grad_out.sum(axis=(0, 2, 3)) if bias is not None else None
+    return dx, dw, db
+
+
+def naive_maxpool(x, k):
+    """Non-overlapping max pool with im2col tap order (first max wins)."""
+    n, c, h, w = x.shape
+    oh, ow = h // k, w // k
+    out = np.empty((n, c, oh, ow))
+    dxmask = np.zeros_like(x)
+    for y in range(oh):
+        for xx in range(ow):
+            win = x[:, :, y * k : (y + 1) * k, xx * k : (xx + 1) * k].reshape(
+                n, c, k * k
+            )
+            arg = win.argmax(axis=-1)
+            out[:, :, y, xx] = np.take_along_axis(
+                win, arg[:, :, None], axis=-1
+            )[:, :, 0]
+            for ni in range(n):
+                for ci in range(c):
+                    i, j = divmod(int(arg[ni, ci]), k)
+                    dxmask[ni, ci, y * k + i, xx * k + j] = 1.0
+    return out, dxmask
+
+
+def run_conv(layer, x, grad_out, enabled):
+    """Forward + backward under the given fastpath flag; returns copies."""
+    layer.weight.zero_grad()
+    if layer.bias is not None:
+        layer.bias.zero_grad()
+    with fastpath.fastpath(enabled):
+        out = np.array(layer.forward(x))
+        dx = layer.backward(grad_out)
+    return (
+        out,
+        None if dx is None else np.array(dx),
+        layer.weight.grad.copy(),
+        None if layer.bias is None else layer.bias.grad.copy(),
+    )
+
+
+# -- shift-GEMM convolution --------------------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(2, 3, 5, 7), (1, 2, 9, 4), (3, 5, 6, 6)])
+@pytest.mark.parametrize("use_bias", [True, False])
+def test_shift_conv_matches_naive_and_im2col(shape, use_bias):
+    rng = np.random.default_rng(7)
+    n, c, h, w = shape
+    layer = Conv2d(c, 4, kernel_size=3, stride=1, padding=1, bias=use_bias, rng=3)
+    x = rng.normal(size=shape)
+    oh, ow = h, w  # stride 1, pad 1, k 3
+    g = rng.normal(size=(n, 4, oh, ow))
+
+    fast = run_conv(layer, x, g, enabled=True)
+    slow = run_conv(layer, x, g, enabled=False)
+    bias = None if layer.bias is None else layer.bias.data
+    ref_out = naive_conv2d(x, layer.weight.data, bias, 1, 1)
+    ref_dx, ref_dw, ref_db = naive_conv2d_grads(x, layer.weight.data, bias, g, 1, 1)
+
+    for got in (fast, slow):
+        np.testing.assert_allclose(got[0], ref_out, atol=1e-10)
+        np.testing.assert_allclose(got[1], ref_dx, atol=1e-10)
+        np.testing.assert_allclose(got[2], ref_dw, atol=1e-10)
+        if use_bias:
+            np.testing.assert_allclose(got[3], ref_db, atol=1e-10)
+
+
+def test_stem_row_grouping_matches_naive():
+    """skip_input_grad + few channels takes the row-grouped stem layout."""
+    rng = np.random.default_rng(11)
+    layer = Conv2d(3, 8, kernel_size=3, stride=1, padding=1, bias=True, rng=5)
+    layer.skip_input_grad = True
+    x = rng.normal(size=(2, 3, 7, 5))
+    g = rng.normal(size=(2, 8, 7, 5))
+
+    out, dx, dw, db = run_conv(layer, x, g, enabled=True)
+    ref_out = naive_conv2d(x, layer.weight.data, layer.bias.data, 1, 1)
+    _, ref_dw, ref_db = naive_conv2d_grads(
+        x, layer.weight.data, layer.bias.data, g, 1, 1
+    )
+    assert dx is None  # stem skips the input gradient entirely
+    np.testing.assert_allclose(out, ref_out, atol=1e-10)
+    np.testing.assert_allclose(dw, ref_dw, atol=1e-10)
+    np.testing.assert_allclose(db, ref_db, atol=1e-10)
+
+
+def test_bias_folding_equals_separate_bias_add():
+    """The folded ones-row bias GEMM == conv-without-bias + explicit add."""
+    rng = np.random.default_rng(13)
+    with_b = Conv2d(4, 6, kernel_size=3, stride=1, padding=1, bias=True, rng=2)
+    no_b = Conv2d(4, 6, kernel_size=3, stride=1, padding=1, bias=False, rng=2)
+    no_b.weight.data[...] = with_b.weight.data
+    with_b.bias.data[...] = rng.normal(size=6)
+    x = rng.normal(size=(2, 4, 5, 5))
+    with fastpath.fastpath(True):
+        folded = np.array(with_b.forward(x))
+        separate = np.array(no_b.forward(x)) + with_b.bias.data[None, :, None, None]
+    np.testing.assert_allclose(folded, separate, atol=1e-12)
+
+
+def test_shift_conv_non_contiguous_input():
+    rng = np.random.default_rng(17)
+    layer = Conv2d(3, 4, kernel_size=3, stride=1, padding=1, rng=9)
+    big = rng.normal(size=(2, 3, 12, 14))
+    x = big[:, :, ::2, ::2]  # (2, 3, 6, 7), non-contiguous view
+    assert not x.flags["C_CONTIGUOUS"]
+    g = rng.normal(size=(2, 4, 6, 7))
+    fast = run_conv(layer, x, g, enabled=True)
+    slow = run_conv(layer, np.ascontiguousarray(x), g, enabled=False)
+    for a, b in zip(fast, slow):
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_shift_conv_dtypes(dtype):
+    rng = np.random.default_rng(19)
+    layer = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=4)
+    x = rng.normal(size=(2, 2, 5, 5)).astype(dtype)
+    g = rng.normal(size=(2, 3, 5, 5)).astype(dtype)
+    fast = run_conv(layer, x, g, enabled=True)
+    ref_out = naive_conv2d(
+        x.astype(np.float64), layer.weight.data, layer.bias.data, 1, 1
+    )
+    tol = 1e-5 if dtype == np.float32 else 1e-10
+    np.testing.assert_allclose(fast[0], ref_out, atol=tol)
+
+
+def test_strided_conv_im2col_matches_naive():
+    rng = np.random.default_rng(23)
+    layer = Conv2d(3, 4, kernel_size=3, stride=2, padding=1, rng=6)
+    x = rng.normal(size=(2, 3, 7, 9))
+    out_shape = naive_conv2d(x, layer.weight.data, layer.bias.data, 2, 1).shape
+    g = rng.normal(size=out_shape)
+    for enabled in (True, False):  # stride > 1 always uses im2col
+        got = run_conv(layer, x, g, enabled)
+        ref_out = naive_conv2d(x, layer.weight.data, layer.bias.data, 2, 1)
+        ref_dx, ref_dw, ref_db = naive_conv2d_grads(
+            x, layer.weight.data, layer.bias.data, g, 2, 1
+        )
+        np.testing.assert_allclose(got[0], ref_out, atol=1e-10)
+        np.testing.assert_allclose(got[1], ref_dx, atol=1e-10)
+        np.testing.assert_allclose(got[2], ref_dw, atol=1e-10)
+        np.testing.assert_allclose(got[3], ref_db, atol=1e-10)
+
+
+def test_shift_conv_workspace_rebuild_on_shape_change():
+    """Alternating shapes (train/eval batch sizes) must stay correct."""
+    rng = np.random.default_rng(29)
+    layer = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=8)
+    for n in (2, 5, 2):
+        x = rng.normal(size=(n, 2, 6, 6))
+        g = rng.normal(size=(n, 3, 6, 6))
+        fast = run_conv(layer, x, g, enabled=True)
+        ref = naive_conv2d(x, layer.weight.data, layer.bias.data, 1, 1)
+        np.testing.assert_allclose(fast[0], ref, atol=1e-10)
+
+
+# -- k=2 maxpool -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(2, 3, 6, 8), (1, 1, 4, 4), (3, 2, 10, 6)])
+def test_maxpool_k2_matches_naive(shape):
+    rng = np.random.default_rng(31)
+    x = rng.normal(size=shape)
+    g = rng.normal(size=(shape[0], shape[1], shape[2] // 2, shape[3] // 2))
+    pool = MaxPool2d(2)
+    with fastpath.fastpath(True):
+        out_f = np.array(pool.forward(x))
+        dx_f = np.array(pool.backward(g))
+    with fastpath.fastpath(False):
+        out_s = np.array(pool.forward(x))
+        dx_s = np.array(pool.backward(g))
+    ref_out, mask = naive_maxpool(x, 2)
+    np.testing.assert_array_equal(out_f, ref_out)
+    np.testing.assert_array_equal(out_s, ref_out)
+    np.testing.assert_array_equal(dx_f, dx_s)
+    # Gradient routes only to winner positions.
+    assert np.all((dx_f != 0) <= (mask != 0))
+
+
+def test_maxpool_k2_tie_breaking_matches_general_path():
+    """Equal taps in a window: first (im2col-order) tap must win on both
+    paths, so the backward scatter targets the same element."""
+    x = np.zeros((1, 1, 4, 4))
+    x[0, 0] = np.arange(16).reshape(4, 4) // 4  # ties along each row
+    g = np.ones((1, 1, 2, 2))
+    pool = MaxPool2d(2)
+    with fastpath.fastpath(True):
+        out_f = np.array(pool.forward(x))
+        dx_f = np.array(pool.backward(g))
+    with fastpath.fastpath(False):
+        out_s = np.array(pool.forward(x))
+        dx_s = np.array(pool.backward(g))
+    np.testing.assert_array_equal(out_f, out_s)
+    np.testing.assert_array_equal(dx_f, dx_s)
+
+
+def test_maxpool_k3_fast_path_matches_general():
+    rng = np.random.default_rng(37)
+    x = rng.normal(size=(2, 2, 9, 6))
+    g = rng.normal(size=(2, 2, 3, 2))
+    pool = MaxPool2d(3)
+    with fastpath.fastpath(True):
+        out_f = np.array(pool.forward(x))
+        dx_f = np.array(pool.backward(g))
+    with fastpath.fastpath(False):
+        out_s = np.array(pool.forward(x))
+        dx_s = np.array(pool.backward(g))
+    np.testing.assert_array_equal(out_f, out_s)
+    np.testing.assert_array_equal(dx_f, dx_s)
+
+
+def test_maxpool_non_contiguous_input():
+    rng = np.random.default_rng(41)
+    big = rng.normal(size=(2, 2, 8, 12))
+    x = big[:, :, :, ::2]  # (2, 2, 8, 6), non-contiguous
+    assert not x.flags["C_CONTIGUOUS"]
+    g = rng.normal(size=(2, 2, 4, 3))
+    pool = MaxPool2d(2)
+    with fastpath.fastpath(True):
+        out_f = np.array(pool.forward(x))
+        dx_f = np.array(pool.backward(g))
+    with fastpath.fastpath(False):
+        out_s = np.array(pool.forward(np.ascontiguousarray(x)))
+        dx_s = np.array(pool.backward(g))
+    np.testing.assert_array_equal(out_f, out_s)
+    np.testing.assert_array_equal(dx_f, dx_s)
+
+
+# -- ReLU workspace ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("shape", [(3, 5), (2, 3, 4, 5), (7,)])
+def test_relu_workspace_matches_functional(shape, dtype):
+    rng = np.random.default_rng(43)
+    x = rng.normal(size=shape).astype(dtype)
+    g = rng.normal(size=shape).astype(dtype)
+    relu = ReLU()
+    with fastpath.fastpath(True):
+        out_f = np.array(relu.forward(x))
+        dx_f = np.array(relu.backward(g))
+    with fastpath.fastpath(False):
+        out_s = np.array(relu.forward(x))
+        dx_s = np.array(relu.backward(g))
+    np.testing.assert_array_equal(out_f, np.maximum(x, 0.0))
+    np.testing.assert_array_equal(out_s, np.maximum(x, 0.0))
+    np.testing.assert_array_equal(dx_f, g * (x > 0))
+    np.testing.assert_array_equal(dx_s, g * (x > 0))
+
+
+def test_relu_workspace_non_contiguous_and_reshape():
+    rng = np.random.default_rng(47)
+    big = rng.normal(size=(4, 10))
+    x = big[:, ::2]  # non-contiguous (4, 5) view
+    assert not x.flags["C_CONTIGUOUS"]
+    g = rng.normal(size=(4, 5))
+    relu = ReLU()
+    with fastpath.fastpath(True):
+        out = np.array(relu.forward(x))
+        dx = np.array(relu.backward(g))
+    np.testing.assert_array_equal(out, np.maximum(x, 0.0))
+    np.testing.assert_array_equal(dx, g * (x > 0))
+    # Shape change rebuilds the workspace rather than writing stale buffers.
+    x2 = rng.normal(size=(2, 3))
+    g2 = rng.normal(size=(2, 3))
+    with fastpath.fastpath(True):
+        out2 = np.array(relu.forward(x2))
+        dx2 = np.array(relu.backward(g2))
+    np.testing.assert_array_equal(out2, np.maximum(x2, 0.0))
+    np.testing.assert_array_equal(dx2, g2 * (x2 > 0))
+
+
+def test_relu_flag_flip_between_forward_and_backward():
+    """Toggling the flag mid-step must not pair stale workspaces."""
+    rng = np.random.default_rng(53)
+    x = rng.normal(size=(3, 4))
+    g = rng.normal(size=(3, 4))
+    relu = ReLU()
+    with fastpath.fastpath(True):
+        relu.forward(x)
+    with fastpath.fastpath(False):
+        relu.forward(x)  # drops the workspace
+        dx = np.array(relu.backward(g))
+    np.testing.assert_array_equal(dx, g * (x > 0))

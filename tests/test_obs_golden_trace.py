@@ -1,0 +1,157 @@
+"""Golden-trace regression: traces are byte-identical across run shapes.
+
+Three contracts, each checked on the same tiny seeded SelSync workload:
+
+1. **Executor independence** — the serial and threaded executors produce
+   byte-for-byte identical trace files (event payloads carry no backend
+   name and, in deterministic mode, no wall-clock).
+2. **Resume concatenation** — a run killed at step K (``stop_after``) plus
+   its resumed continuation emit exactly the event lines of the
+   uninterrupted run: ``lines(part) + lines(rest) == lines(full)``.
+3. **Zero perturbation** — running with a tracer attached leaves the
+   training trajectory bitwise unchanged (params, losses, sim clock).
+
+Plus a structural golden: the per-step event-type skeleton of a SelSync
+step is pinned so accidental re-ordering or dropped instrumentation fails
+loudly rather than silently shifting every downstream view.
+"""
+
+import numpy as np
+
+from repro.cluster.worker import build_worker_group
+from repro.core import ClusterConfig, SelSyncTrainer, TrainConfig
+from repro.data import ArrayDataset, BatchLoader, selsync_partition
+from repro.nn.models import build_model
+from repro.obs import Tracer
+from repro.obs.sink import event_lines
+from repro.optim import SGD
+
+N_WORKERS = 3
+N_STEPS = 10
+KILL_AT = 6
+
+
+def _workers():
+    rng = np.random.default_rng(0)
+    ds = ArrayDataset(rng.normal(size=(60, 8)), rng.integers(0, 3, 60))
+    part = selsync_partition(60, N_WORKERS, rng=1)
+    loaders = BatchLoader.for_workers(ds, part, batch_size=8, seed=2)
+    return build_worker_group(
+        N_WORKERS,
+        lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+        lambda m: SGD(m, lr=0.1, momentum=0.9),
+        loaders,
+    )
+
+
+def _run(trace_path=None, executor="serial", **cfg_kw):
+    """One fresh leg: rebuilt workload, same seeds, optional tracing."""
+    workers = _workers()
+    cluster = ClusterConfig(
+        n_workers=N_WORKERS,
+        comm_bytes=1e6,
+        flops_per_sample=1e6,
+        executor=executor,
+    )
+    trainer = SelSyncTrainer(workers, cluster, delta=0.1)
+    tracer = None
+    if trace_path is not None:
+        tracer = Tracer(path=trace_path, name="golden")
+    res = trainer.run(
+        TrainConfig(n_steps=N_STEPS, eval_fn=None, tracer=tracer, **cfg_kw)
+    )
+    if tracer is not None:
+        tracer.close()
+    return workers, res
+
+
+def test_trace_byte_identical_across_executors(tmp_path):
+    p_serial = tmp_path / "serial.jsonl"
+    p_threaded = tmp_path / "threaded.jsonl"
+    _run(trace_path=p_serial, executor="serial")
+    _run(trace_path=p_threaded, executor="threaded")
+    assert p_serial.read_bytes() == p_threaded.read_bytes()
+
+
+def test_resume_concatenation_equals_full_trace(tmp_path):
+    ck_full = str(tmp_path / "ck_full.npz")
+    ck = str(tmp_path / "ck.npz")
+    p_full = tmp_path / "full.jsonl"
+    p_part = tmp_path / "part.jsonl"
+    p_rest = tmp_path / "rest.jsonl"
+
+    # Checkpoint cadence is part of the trajectory (checkpoint_save events),
+    # so all three legs share it; only stop_after/resume_from differ.
+    _run(trace_path=p_full, checkpoint_every=KILL_AT, checkpoint_path=ck_full)
+    _run(
+        trace_path=p_part,
+        checkpoint_every=KILL_AT,
+        checkpoint_path=ck,
+        stop_after=KILL_AT,
+    )
+    _run(
+        trace_path=p_rest,
+        checkpoint_every=KILL_AT,
+        checkpoint_path=ck,
+        resume_from=ck,
+    )
+
+    full = event_lines(p_full)
+    part = event_lines(p_part)
+    rest = event_lines(p_rest)
+    assert part and rest  # both legs actually traced something
+    assert part + rest == full
+
+
+def test_tracing_does_not_perturb_training(tmp_path):
+    workers_off, res_off = _run(trace_path=None)
+    workers_on, res_on = _run(trace_path=tmp_path / "on.jsonl")
+    for a, b in zip(workers_off, workers_on):
+        np.testing.assert_array_equal(a.get_params(), b.get_params())
+    assert [r.loss for r in res_off.log.iterations] == [
+        r.loss for r in res_on.log.iterations
+    ]
+    assert [r.sim_time for r in res_off.log.iterations] == [
+        r.sim_time for r in res_on.log.iterations
+    ]
+
+
+def test_golden_step_skeleton(tmp_path):
+    """Pin the event-type skeleton of one SelSync step.
+
+    The exact floats are workload-dependent, but the *structure* — which
+    events fire, for which workers, in canonical order — is part of the
+    schema contract that views/dashboards build on.
+    """
+    import json
+
+    p = tmp_path / "g.jsonl"
+    _run(trace_path=p)
+    recs = [json.loads(line) for line in event_lines(p)]
+    step0 = [(r["etype"], r["worker"]) for r in recs if r["step"] == 0]
+    # Step 0 always syncs (EWMA mean is seeded by the first gradient), so
+    # the full skeleton appears: begin, compute+exec per worker, the vote
+    # round (delta per worker, 1-bit allgather, decision), PA traffic and
+    # its aggregation record, then the step summary.
+    assert step0 == [
+        ("step_begin", -1),
+        ("compute_phase", -1),
+        ("collective", -1),     # allgather_flags (the 1-bit vote round)
+        ("sync_decision", -1),
+        ("collective", -1),     # parameter averaging traffic (charge_sync)
+        ("aggregation", -1),
+        ("step_end", -1),
+        ("exec_task", 0),
+        ("delta_eval", 0),
+        ("exec_task", 1),
+        ("delta_eval", 1),
+        ("exec_task", 2),
+        ("delta_eval", 2),
+    ]
+    # Every traced step carries the same per-worker events.
+    for s in range(N_STEPS):
+        step = [(r["etype"], r["worker"]) for r in recs if r["step"] == s]
+        assert step.count(("exec_task", 0)) == 1
+        assert step.count(("delta_eval", 0)) == 1
+        assert [t for t, w in step if w == -1][0] == "step_begin"
+        assert "step_end" in [t for t, w in step]
