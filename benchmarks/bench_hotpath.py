@@ -16,6 +16,13 @@ the same host speed, so the drift cancels. Run as a script (optionally with
 ``--quick``) to write ``BENCH_hotpath.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+
+The same invocation also runs the **executor-scaling sweep** and writes
+``BENCH_executor.json``: serial vs threaded vs process backends (all on the
+arena fast path) with the same interleaved pairwise methodology, the host
+core count, and a serial-vs-process RunLog byte-identity check. Process
+speedups only mean anything on a multi-core host — ``cpu_count`` is recorded
+so downstream assertions can gate on it.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -96,6 +105,79 @@ def ab_trial(method: str, executor: str, trials: int, steps_off: int, steps_on: 
     }
 
 
+def executor_trial(method: str, kind: str, trials: int, steps: int):
+    """Interleaved serial-vs-``kind`` trials, both on the arena fast path.
+
+    Same drift-cancelling methodology as :func:`ab_trial`, but comparing
+    executor backends instead of storage layouts.
+    """
+    tr_ser = make_trainer(method, "serial")
+    tr_other = make_trainer(method, kind)
+    gc.disable()
+    try:
+        for i in range(3):  # warmup: forks the pool, builds workspaces
+            tr_ser.step(i)
+            tr_other.step(i)
+        ser_rates, other_rates = [], []
+        ser_i = other_i = 3
+        for _ in range(trials):
+            ser_rates.append(time_steps(tr_ser, ser_i, steps))
+            ser_i += steps
+            other_rates.append(time_steps(tr_other, other_i, steps))
+            other_i += steps
+    finally:
+        gc.enable()
+        tr_other.executor.shutdown()
+        tr_ser.executor.shutdown()
+    ratios = [o / s for s, o in zip(ser_rates, other_rates)]
+    return {
+        "serial_steps_per_sec": round(statistics.median(ser_rates), 3),
+        f"{kind}_steps_per_sec": round(statistics.median(other_rates), 3),
+        "pairwise_ratios": [round(r, 3) for r in ratios],
+        "speedup_median_pairwise": round(statistics.median(ratios), 3),
+    }
+
+
+def runlog_byte_identity(method: str = "bsp", n_steps: int = 6) -> bool:
+    """Serial and process backends must write byte-identical RunLogs."""
+    from repro.core import TrainConfig
+    from repro.utils.serialization import save_runlog
+
+    blobs = {}
+    for kind in ("serial", "process"):
+        trainer = make_trainer(method, kind)
+        try:
+            res = trainer.run(TrainConfig(n_steps=n_steps, eval_every=n_steps))
+        finally:
+            trainer.executor.shutdown()
+        with tempfile.NamedTemporaryFile(suffix=".jsonl") as f:
+            save_runlog(res.log, f.name)
+            blobs[kind] = Path(f.name).read_bytes()
+    return blobs["serial"] == blobs["process"]
+
+
+def executor_sweep(trials: int, steps: int, quick: bool):
+    results = {
+        "workload": "vgg_cifar100 (SmallVGG), 8 workers, data_scale=0.25",
+        "methodology": (
+            "interleaved serial/backend trials on the arena fast path; "
+            "speedup = median of pairwise (adjacent) steps-per-sec ratios"
+        ),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "runlog_byte_identical": runlog_byte_identity(),
+        "methods": {},
+    }
+    for method in ("bsp", "selsync"):
+        results["methods"][method] = {}
+        for kind in ("threaded", "process"):
+            results["methods"][method][kind] = executor_trial(
+                method, kind, trials, steps
+            )
+            print(f"{method}/{kind}: {results['methods'][method][kind]}")
+    return results
+
+
 def micro_flat_ops(n_params: int = 200_000, n_workers: int = 8, reps: int = 50):
     """Microbenchmark: flatten + aggregate, seed idiom vs arena idiom."""
     rng = np.random.default_rng(0)
@@ -138,37 +220,48 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="fewer/shorter trials")
     ap.add_argument("--out", default=str(ROOT / "BENCH_hotpath.json"))
+    ap.add_argument("--executor-out", default=str(ROOT / "BENCH_executor.json"))
+    ap.add_argument(
+        "--skip-hotpath",
+        action="store_true",
+        help="run only the executor sweep (skips the seed-vs-arena A/B)",
+    )
     args = ap.parse_args(argv)
 
     trials = 3 if args.quick else 10
     steps_off = 4 if args.quick else 8
     steps_on = 8 if args.quick else 16
 
-    results = {
-        "workload": "vgg_cifar100 (SmallVGG), 8 workers, data_scale=0.25",
-        "methodology": (
-            "interleaved seed/arena trials; speedup = median of pairwise "
-            "(adjacent) on/off steps-per-sec ratios, which cancels host "
-            "clock drift"
-        ),
-        "quick": args.quick,
-        "methods": {},
-        "micro": micro_flat_ops(),
-    }
-    for method in ("bsp", "selsync"):
-        results["methods"][method] = {
-            "arena-serial": ab_trial(method, "serial", trials, steps_off, steps_on),
+    if not args.skip_hotpath:
+        results = {
+            "workload": "vgg_cifar100 (SmallVGG), 8 workers, data_scale=0.25",
+            "methodology": (
+                "interleaved seed/arena trials; speedup = median of pairwise "
+                "(adjacent) on/off steps-per-sec ratios, which cancels host "
+                "clock drift"
+            ),
+            "quick": args.quick,
+            "methods": {},
+            "micro": micro_flat_ops(),
         }
-        print(f"{method}/arena-serial: "
-              f"{results['methods'][method]['arena-serial']}")
-        results["methods"][method]["arena-threaded"] = ab_trial(
-            method, "threaded", trials, steps_off, steps_on
-        )
-        print(f"{method}/arena-threaded: "
-              f"{results['methods'][method]['arena-threaded']}")
+        for method in ("bsp", "selsync"):
+            results["methods"][method] = {
+                "arena-serial": ab_trial(method, "serial", trials, steps_off, steps_on),
+            }
+            print(f"{method}/arena-serial: "
+                  f"{results['methods'][method]['arena-serial']}")
+            results["methods"][method]["arena-threaded"] = ab_trial(
+                method, "threaded", trials, steps_off, steps_on
+            )
+            print(f"{method}/arena-threaded: "
+                  f"{results['methods'][method]['arena-threaded']}")
 
-    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {args.out}")
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    ex_results = executor_sweep(trials, steps_on, args.quick)
+    Path(args.executor_out).write_text(json.dumps(ex_results, indent=2) + "\n")
+    print(f"wrote {args.executor_out}")
     return 0
 
 

@@ -24,6 +24,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -63,13 +64,21 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--batch-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--executor", default="serial", choices=["serial", "threaded"],
-        help="backend for the per-worker gradient phase "
-        "(results are identical; threaded may be faster on multi-core hosts)",
+        "--executor",
+        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+        choices=["serial", "threaded", "process"],
+        help="backend for the per-worker gradient phase (results are "
+        "byte-identical; process scales with cores via shared-memory "
+        "arenas; default honours $REPRO_EXECUTOR)",
     )
     p.add_argument(
         "--executor-threads", type=int, default=None,
         help="thread-pool width for --executor threaded (default: n_workers)",
+    )
+    p.add_argument(
+        "--procs", type=int, default=None,
+        help="process-pool width for --executor process "
+        "(default: min(n_workers, cpu_count))",
     )
     p.add_argument(
         "--fault-spec", default=None, metavar="SPEC",
@@ -110,6 +119,7 @@ def _build(args, spec: MethodSpec):
         cluster_kwargs={
             "executor": args.executor,
             "executor_threads": args.executor_threads,
+            "executor_procs": getattr(args, "procs", None),
             "fault_spec": getattr(args, "fault_spec", None),
             "min_quorum": getattr(args, "min_quorum", None),
         },

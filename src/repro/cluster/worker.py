@@ -13,6 +13,24 @@ from repro.nn.module import Module
 from repro.optim.base import Optimizer
 
 
+def record_batch_observations(tr, loss: float, grad_sqnorm: float) -> None:
+    """Metrics one consumed mini-batch contributes to an installed tracer.
+
+    Factored out so every executor backend reports identically: the
+    serial/threaded backends reach it through ``compute_gradient`` on the
+    thread that ran the math, while the process backend's parent replays it
+    from the child's result (children run with tracing uninstalled).
+    Histogram summaries sort their samples, so the interleaving of
+    concurrent workers cannot leak in — as long as no NaN enters the sort,
+    hence the finite guards.
+    """
+    tr.metrics.inc("worker.batches")
+    if np.isfinite(loss):
+        tr.metrics.observe("worker.loss", float(loss))
+    if np.isfinite(grad_sqnorm):
+        tr.metrics.observe("worker.grad_sqnorm", float(grad_sqnorm))
+
+
 class SimWorker:
     """One simulated rank: a model replica, its optimizer and its data view.
 
@@ -60,6 +78,22 @@ class SimWorker:
         self._prefetched = self.loader.next_batch()
         return self._prefetched
 
+    def take_prefetched(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Hand over the pending prefetched batch, clearing the guard.
+
+        The process executor consumes batches here: the draw happened on the
+        coordinating process (keeping the loader authoritative there), while
+        the forward/backward that would normally consume ``_prefetched``
+        runs in a child process on a staged copy.
+        """
+        if self._prefetched is None:
+            raise RuntimeError(
+                f"worker {self.worker_id}: take_prefetched() without a "
+                "pending draw_batch()"
+            )
+        batch, self._prefetched = self._prefetched, None
+        return batch
+
     def compute_gradient(
         self, batch: Optional[Tuple[np.ndarray, np.ndarray]] = None
     ) -> float:
@@ -94,15 +128,8 @@ class SimWorker:
         self.last_grad_sqnorm = float(g @ g)
         tr = obs.active()
         if tr is not None:
-            # Metrics only (no event; the executor owns the exec_task
-            # event). Histogram summaries sort their samples, so the
-            # thread interleaving of concurrent workers cannot leak in —
-            # as long as no NaN enters the sort, hence the finite guards.
-            tr.metrics.inc("worker.batches")
-            if np.isfinite(value):
-                tr.metrics.observe("worker.loss", float(value))
-            if np.isfinite(self.last_grad_sqnorm):
-                tr.metrics.observe("worker.grad_sqnorm", self.last_grad_sqnorm)
+            # Metrics only (no event; the executor owns the exec_task event).
+            record_batch_observations(tr, value, self.last_grad_sqnorm)
         return value
 
     # -- updates -----------------------------------------------------------
@@ -161,6 +188,44 @@ class SimWorker:
             for m in self.model.modules()
             if isinstance(getattr(m, "running_mean", None), np.ndarray)
         ]
+
+    def model_mutable_state(self) -> Dict:
+        """The model's mutable *non-parameter* state: dropout RNG streams
+        and BatchNorm running statistics.
+
+        This is exactly what a forward/backward pass touches beyond the
+        parameter/gradient arenas, so it is what the process executor
+        round-trips through the task pipe: the parent ships the current
+        state with each task, the child ships the advanced state back.
+        Small by construction — a handful of bit-generator dicts and
+        per-channel vectors, never anything proportional to the model.
+        """
+        return {
+            "rngs": [m.rng.bit_generator.state for m in self._rng_modules()],
+            "buffers": [
+                (m.running_mean.copy(), m.running_var.copy())
+                for m in self._buffer_modules()
+            ],
+        }
+
+    def set_model_mutable_state(self, state: Dict) -> None:
+        """Install a :meth:`model_mutable_state` snapshot, in place."""
+        rng_modules = self._rng_modules()
+        buffer_modules = self._buffer_modules()
+        if len(state["rngs"]) != len(rng_modules) or len(
+            state["buffers"]
+        ) != len(buffer_modules):
+            raise ValueError(
+                f"worker {self.worker_id}: mutable-state shape mismatch "
+                f"({len(state['rngs'])} RNG streams for {len(rng_modules)} "
+                f"modules, {len(state['buffers'])} buffer pairs for "
+                f"{len(buffer_modules)} modules)"
+            )
+        for m, rng_state in zip(rng_modules, state["rngs"]):
+            m.rng.bit_generator.state = rng_state
+        for m, (mean, var) in zip(buffer_modules, state["buffers"]):
+            m.running_mean[...] = mean
+            m.running_var[...] = var
 
     def state_dict(self) -> Dict:
         """Full per-rank snapshot: parameters, optimizer slots, loader

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -48,13 +49,21 @@ class ClusterConfig:
     #: strictly sequential compute-then-communicate; 1 means communication
     #: can fully hide under compute.
     overlap_fraction: float = 0.0
-    #: Backend for the per-worker gradient phase: ``"serial"`` (reference)
-    #: or ``"threaded"`` (thread pool; byte-identical results, see
-    #: :mod:`repro.cluster.executor`).
-    executor: str = "serial"
+    #: Backend for the per-worker gradient phase: ``"serial"`` (reference),
+    #: ``"threaded"`` (thread pool) or ``"process"`` (persistent process
+    #: pool over shared-memory arenas) — all byte-identical, see
+    #: :mod:`repro.cluster.executor`. The ``REPRO_EXECUTOR`` environment
+    #: variable overrides the default, so a whole test/CI run can be
+    #: switched to another backend without touching call sites.
+    executor: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "serial")
+    )
     #: Thread-pool width for the threaded executor; ``None`` sizes it to the
-    #: worker count. Ignored by the serial backend.
+    #: worker count. Ignored by the other backends.
     executor_threads: Optional[int] = None
+    #: Process-pool width for the process executor; ``None`` sizes it to
+    #: ``min(n_workers, cpu_count)``. Ignored by the other backends.
+    executor_procs: Optional[int] = None
     #: Fault-injection spec (see :mod:`repro.cluster.faults`), e.g.
     #: ``"crash:w2@50-120,straggle:w0x4@30+,drop:p=0.05"``. ``None``/empty
     #: disables injection — the simulation is then bitwise-identical to a
@@ -83,6 +92,10 @@ class ClusterConfig:
             raise ValueError(
                 f"executor_threads must be >= 1, got {self.executor_threads}"
             )
+        if self.executor_procs is not None and self.executor_procs < 1:
+            raise ValueError(
+                f"executor_procs must be >= 1, got {self.executor_procs}"
+            )
         # Parse eagerly so a bad spec fails at configuration time, not at
         # step 50 of a long run; worker ids are range-checked too.
         parse_fault_spec(self.fault_spec).validate(self.n_workers)
@@ -105,7 +118,11 @@ class ClusterConfig:
         return SimGroup(self.n_workers, net=self.net, topology=self.topology)
 
     def make_executor(self) -> WorkerExecutor:
-        return make_executor(self.executor, threads=self.executor_threads)
+        return make_executor(
+            self.executor,
+            threads=self.executor_threads,
+            procs=self.executor_procs,
+        )
 
     def make_compute(self) -> ComputeModel:
         return ComputeModel(

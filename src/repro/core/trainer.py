@@ -94,6 +94,11 @@ class DistributedTrainer:
         self.group = cluster.make_group()
         self.compute = cluster.make_compute()
         self.executor = cluster.make_executor()
+        # Stateful backends need the full group before the first compute
+        # call — trainers routinely hand them subsets (live workers, SSP's
+        # per-worker events). The process backend also rebinds the arenas
+        # to shared memory here, so do it before anything else takes views.
+        self.executor.bind(self.workers)
         self.server = ParameterServer(workers[0].get_params(copy=False))
         self.schedule = schedule if schedule is not None else ConstantLR(0.01)
         model = workers[0].model

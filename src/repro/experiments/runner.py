@@ -98,7 +98,13 @@ def run_method(
         stop_after=stop_after,
         tracer=tracer,
     )
-    result = trainer.run(cfg)
+    try:
+        result = trainer.run(cfg)
+    finally:
+        # The trainer is dropped on return; release backend resources
+        # (thread pools, forked worker processes + shared segments) now
+        # rather than at garbage collection.
+        trainer.executor.shutdown()
     result.log.meta = manifest
     return result
 

@@ -24,11 +24,29 @@ they no longer cover the module (a parameter was registered afterwards, or
 the module was deep-copied, which detaches numpy views). Layers and
 optimizers are oblivious: they keep mutating ``p.data`` / ``p.grad`` in
 place, which is all they ever did.
+
+Shared-memory arenas
+--------------------
+:class:`SharedParameterArena` keeps the exact same layout but places both
+buffers in one ``multiprocessing.shared_memory`` segment, so worker
+*processes* forked (or attached by name) afterwards observe every parameter
+and gradient write with zero copies and zero pickling — the transport the
+:class:`~repro.cluster.executor.ProcessExecutor` is built on. Lifecycle:
+
+* :func:`share_arena` promotes a module's arena to shared memory in place
+  (idempotent); :func:`unshare_arena` copies the current values back into a
+  private arena and releases the segment.
+* A child process calls :meth:`SharedParameterArena.attach` with the
+  segment name to rebind its (forked or rebuilt) parameter list onto the
+  parent's storage — the segment's values win, nothing is copied in.
+* A shared arena must never be *silently* replaced while children may be
+  attached; ``Module._ensure_arena`` raises instead of rebuilding one.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -47,17 +65,20 @@ class ParameterArena:
         "_grads_ro",
     )
 
-    def __init__(self, params: Sequence[Parameter]):
+    #: True for arenas whose storage other processes may be attached to.
+    shared = False
+
+    def __init__(self, params: Sequence[Parameter], _take_storage: bool = False):
         self.params: List[Parameter] = list(params)
         total = sum(int(p.data.size) for p in self.params)
-        self.param_buf = np.empty(total, dtype=np.float64)
-        self.grad_buf = np.empty(total, dtype=np.float64)
+        self.param_buf, self.grad_buf = self._allocate(total)
         offset = 0
         for p in self.params:
             n = int(p.data.size)
             sl = slice(offset, offset + n)
-            self.param_buf[sl] = p.data.ravel()
-            self.grad_buf[sl] = p.grad.ravel()
+            if not _take_storage:
+                self.param_buf[sl] = p.data.ravel()
+                self.grad_buf[sl] = p.grad.ravel()
             p.data = self.param_buf[sl].reshape(p.data.shape)
             p.grad = self.grad_buf[sl].reshape(p.grad.shape)
             offset += n
@@ -66,6 +87,12 @@ class ParameterArena:
         self._params_ro.flags.writeable = False
         self._grads_ro = self.grad_buf[:]
         self._grads_ro.flags.writeable = False
+
+    def _allocate(self, total: int):
+        return (
+            np.empty(total, dtype=np.float64),
+            np.empty(total, dtype=np.float64),
+        )
 
     @property
     def size(self) -> int:
@@ -115,3 +142,127 @@ class ParameterArena:
 
     def zero_grad(self) -> None:
         self.grad_buf.fill(0.0)
+
+
+class SharedParameterArena(ParameterArena):
+    """Arena whose buffers live in one shared-memory segment.
+
+    Layout: ``[ param_buf | grad_buf ]``, each ``total * 8`` bytes of
+    float64. The creating process owns the segment (``owner=True``) and is
+    responsible for :meth:`release`-ing it; attached processes only close
+    their mapping. Forked children need neither — they inherit the mapping
+    directly and their views stay valid until the process exits.
+    """
+
+    __slots__ = ("shm", "owner")
+
+    shared = True
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.owner = True
+        super().__init__(params)
+
+    @classmethod
+    def attach(
+        cls, name: str, params: Sequence[Parameter]
+    ) -> "SharedParameterArena":
+        """Rebind ``params`` onto an existing segment created elsewhere.
+
+        The segment's contents win: the given parameters' current values are
+        discarded and every ``.data`` / ``.grad`` becomes a view into the
+        shared storage (the child side of the executor protocol).
+        """
+        self = cls.__new__(cls)
+        self.owner = False
+        self.shm = shared_memory.SharedMemory(name=name)
+        total = sum(int(p.data.size) for p in params)
+        if self.shm.size < 16 * total:
+            raise ValueError(
+                f"shared segment {name!r} holds {self.shm.size} bytes, "
+                f"need {16 * total} for {total} parameters"
+            )
+        ParameterArena.__init__(self, params, _take_storage=True)
+        return self
+
+    @property
+    def shm_name(self) -> str:
+        return self.shm.name
+
+    def _allocate(self, total: int):
+        nbytes = 8 * total
+        if self.owner:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=max(16, 2 * nbytes)
+            )
+        param_buf = np.ndarray((total,), dtype=np.float64, buffer=self.shm.buf)
+        grad_buf = np.ndarray(
+            (total,), dtype=np.float64, buffer=self.shm.buf, offset=nbytes
+        )
+        return param_buf, grad_buf
+
+    def release(self) -> None:
+        """Drop this process's mapping (and the segment itself when owner).
+
+        Only legal once no parameter views point into the buffers anymore —
+        callers rebind through :func:`unshare_arena` first. Idempotent.
+        """
+        shm, self.shm = getattr(self, "shm", None), None
+        if shm is None:
+            return
+        # The numpy views keep exported pointers into shm.buf; drop ours
+        # before closing so mmap can actually unmap.
+        self.param_buf = self.grad_buf = None
+        self._params_ro = self._grads_ro = None
+        shm.close()
+        if self.owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink race
+                pass
+
+    def __deepcopy__(self, memo):
+        # A deep-copied module gets detached private parameter arrays; its
+        # copied arena slot must not alias (or try to re-own) the shared
+        # segment. Returning None makes the copy rebuild a private arena
+        # lazily, exactly like the deep-copy path for ordinary arenas.
+        return None
+
+
+def share_arena(module) -> SharedParameterArena:
+    """Promote ``module``'s arena to shared memory, in place (idempotent).
+
+    Every ``Parameter.data`` / ``.grad`` is rebound to views of the new
+    segment with its current values; existing *copies* of the flat vectors
+    are unaffected, while subsequent ``get_flat_*(copy=False)`` views track
+    the shared storage.
+    """
+    from repro.nn.module import Module
+
+    arena = module._ensure_arena()
+    if arena is None:
+        raise RuntimeError(
+            "cannot build a shared-memory arena with the fast path disabled "
+            "(repro.utils.fastpath); the process executor requires it"
+        )
+    if isinstance(arena, SharedParameterArena):
+        return arena
+    new = SharedParameterArena(module.parameters())
+    module._arena = new
+    module._arena_ver = Module._registry_version
+    return new
+
+
+def unshare_arena(module) -> None:
+    """Rebind ``module`` to a private arena and release the shared segment.
+
+    Copies the segment's current values out first, so the module continues
+    exactly where the shared run left off. No-op for unshared modules.
+    """
+    from repro.nn.module import Module
+
+    arena = getattr(module, "_arena", None)
+    if not isinstance(arena, SharedParameterArena):
+        return
+    module._arena = ParameterArena(module.parameters())
+    module._arena_ver = Module._registry_version
+    arena.release()

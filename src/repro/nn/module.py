@@ -124,6 +124,16 @@ class Module:
                 return arena
         params = self.parameters()
         if arena is None or not arena.covers(params):
+            if arena is not None and arena.shared:
+                # Worker processes may be attached to this arena's segment;
+                # silently rebuilding onto private storage would split the
+                # replicas. Structure changes under a shared arena are a bug.
+                raise RuntimeError(
+                    "module structure changed under a shared-memory arena "
+                    "(parameter registered or views detached while process "
+                    "workers may be attached); detach the process executor "
+                    "first (arena.unshare_arena)"
+                )
             from repro.nn.arena import ParameterArena
 
             arena = ParameterArena(params)

@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.cluster.executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     make_executor,
@@ -99,10 +101,33 @@ def test_make_executor():
     assert isinstance(make_executor("serial"), SerialExecutor)
     ex = make_executor("threaded", threads=2)
     assert isinstance(ex, ThreadedExecutor) and ex.threads == 2
+    px = make_executor("process", procs=2)
+    assert isinstance(px, ProcessExecutor) and px.procs == 2
     with pytest.raises(ValueError):
         make_executor("gpu")
     with pytest.raises(ValueError):
         make_executor("threaded", threads=0)
+    with pytest.raises(ValueError):
+        make_executor("process", procs=0)
+
+
+def test_make_executor_error_lists_choices():
+    with pytest.raises(ValueError) as ei:
+        make_executor("gpu")
+    for kind in EXECUTOR_KINDS:
+        assert kind in str(ei.value)
+
+
+def test_shutdown_is_idempotent_and_context_managed(blobs_data):
+    train, _ = blobs_data
+    workers, _ = make_mlp_cluster(train, n_workers=2)
+    for kind in EXECUTOR_KINDS:
+        with make_executor(kind) as ex:
+            ex.bind(workers)
+            losses = ex.compute_gradients(workers)
+            assert len(losses) == 2
+        ex.shutdown()  # after __exit__: must be a no-op
+        ex.shutdown()
 
 
 def test_cluster_config_validates_executor():
@@ -115,3 +140,16 @@ def test_cluster_config_validates_executor():
         ClusterConfig(n_workers=2, executor="bogus")
     with pytest.raises(ValueError):
         ClusterConfig(n_workers=2, executor_threads=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_workers=2, executor_procs=0)
+    pcfg = ClusterConfig(n_workers=2, executor="process", executor_procs=1)
+    assert isinstance(pcfg.make_executor(), ProcessExecutor)
+
+
+def test_repro_executor_env_sets_default(monkeypatch):
+    from repro.core import ClusterConfig
+
+    monkeypatch.setenv("REPRO_EXECUTOR", "process")
+    assert ClusterConfig(n_workers=2).executor == "process"
+    monkeypatch.delenv("REPRO_EXECUTOR")
+    assert ClusterConfig(n_workers=2).executor == "serial"

@@ -93,3 +93,103 @@ def test_flat_access_matches_concat_path():
         slow_g = m.get_flat_grads()
     assert np.array_equal(fast, slow)
     assert np.array_equal(fast_g, slow_g)
+
+
+def test_share_arena_promotes_and_is_idempotent():
+    from repro.nn.arena import SharedParameterArena, share_arena, unshare_arena
+
+    m = make_model()
+    before = m.get_flat_params(copy=True)
+    arena = share_arena(m)
+    try:
+        assert isinstance(arena, SharedParameterArena)
+        assert arena.shared and arena.owner
+        assert share_arena(m) is arena  # idempotent
+        assert np.array_equal(m.get_flat_params(copy=True), before)
+        for p in m.parameters():
+            assert p.data.base is arena.param_buf
+            assert p.grad.base is arena.grad_buf
+    finally:
+        unshare_arena(m)
+
+
+def test_attach_aliases_the_owner_segment():
+    from repro.nn.arena import SharedParameterArena, share_arena, unshare_arena
+
+    m = make_model()
+    twin = make_model()
+    arena = share_arena(m)
+    try:
+        attached = SharedParameterArena.attach(arena.shm.name, twin.parameters())
+        try:
+            # Segment values win on attach...
+            assert np.array_equal(
+                twin.parameters()[0].data, m.parameters()[0].data
+            )
+            # ...and writes through one side are visible on the other.
+            m.parameters()[0].data.flat[0] = 123.0
+            assert twin.parameters()[0].data.flat[0] == 123.0
+        finally:
+            attached.release()  # non-owner: close only, no unlink
+        assert m.parameters()[0].data.flat[0] == 123.0
+    finally:
+        unshare_arena(m)
+
+
+def test_unshare_preserves_values_and_releases_segment():
+    from multiprocessing import shared_memory
+
+    from repro.nn.arena import share_arena, unshare_arena
+
+    m = make_model()
+    arena = share_arena(m)
+    name = arena.shm.name
+    m.parameters()[0].data.flat[0] = 7.5
+    unshare_arena(m)
+    assert not m._ensure_arena().shared
+    assert m.parameters()[0].data.flat[0] == 7.5
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    unshare_arena(m)  # no-op on a private arena
+
+
+def test_structure_change_under_shared_arena_is_loud():
+    from repro.nn.arena import share_arena, unshare_arena
+
+    m = make_model()
+    share_arena(m)
+    try:
+        m.register_parameter("extra", Parameter(np.ones(5)))
+        with pytest.raises(RuntimeError, match="structure changed"):
+            m._ensure_arena()
+    finally:
+        # unshare rebuilds a private arena covering the new parameter too.
+        unshare_arena(m)
+    assert m._ensure_arena().size == m.get_flat_params().size
+
+
+def test_deepcopy_of_shared_arena_module_is_private():
+    from repro.nn.arena import share_arena, unshare_arena
+
+    m = make_model()
+    share_arena(m)
+    try:
+        m2 = copy.deepcopy(m)
+        a2 = m2._ensure_arena()
+        assert not a2.shared
+        assert np.array_equal(
+            m2.get_flat_params(copy=True), m.get_flat_params(copy=True)
+        )
+        m2.parameters()[0].data.flat[0] = -1.0
+        assert m.parameters()[0].data.flat[0] != -1.0
+    finally:
+        unshare_arena(m)
+
+
+def test_share_arena_requires_fastpath():
+    from repro.nn.arena import share_arena
+
+    m = make_model()
+    with fastpath.fastpath(False):
+        with pytest.raises(RuntimeError):
+            share_arena(m)
