@@ -46,14 +46,22 @@ from repro.utils.flatten import flatten_arrays, mean_into
 ROOT = Path(__file__).resolve().parent.parent
 
 
-def make_trainer(method: str, executor: str = "serial", n_workers: int = 8):
+def make_trainer(
+    method: str,
+    executor: str = "serial",
+    n_workers: int = 8,
+    cluster_extra: dict | None = None,
+):
     wl = get_workload("vgg_cifar100")
+    kw = {"executor": executor}
+    if cluster_extra:
+        kw.update(cluster_extra)
     built = wl.build(
         n_workers=n_workers,
         n_steps=1000,
         data_scale=0.25,
         seed=0,
-        cluster_kwargs={"executor": executor},
+        cluster_kwargs=kw,
     )
     return build_trainer(MethodSpec(method, {}), built)
 
@@ -136,6 +144,51 @@ def executor_trial(method: str, kind: str, trials: int, steps: int):
         "pairwise_ratios": [round(r, 3) for r in ratios],
         "speedup_median_pairwise": round(statistics.median(ratios), 3),
     }
+
+
+def aggregator_trial(agg: str, trials: int, steps: int, method: str = "bsp"):
+    """Interleaved mean-vs-robust-aggregator trials on SmallVGG/8w.
+
+    BSP aggregates every step, so it is the worst case for per-sync
+    aggregator overhead. ``overhead_median_pairwise`` is the median of
+    pairwise (adjacent) mean-rate / robust-rate ratios: 1.0 means free,
+    1.15 means the robust reduction costs 15% of end-to-end step time.
+    """
+    tr_mean = make_trainer(method, "serial")
+    tr_robust = make_trainer(
+        method, "serial", cluster_extra={"aggregator": agg, "trim_f": 2}
+    )
+    gc.disable()
+    try:
+        for i in range(3):
+            tr_mean.step(i)
+            tr_robust.step(i)
+        mean_rates, robust_rates = [], []
+        mean_i = robust_i = 3
+        for _ in range(trials):
+            mean_rates.append(time_steps(tr_mean, mean_i, steps))
+            mean_i += steps
+            robust_rates.append(time_steps(tr_robust, robust_i, steps))
+            robust_i += steps
+    finally:
+        gc.enable()
+        tr_robust.executor.shutdown()
+        tr_mean.executor.shutdown()
+    ratios = [m / r for m, r in zip(mean_rates, robust_rates)]
+    return {
+        "mean_steps_per_sec": round(statistics.median(mean_rates), 3),
+        f"{agg}_steps_per_sec": round(statistics.median(robust_rates), 3),
+        "pairwise_ratios": [round(r, 3) for r in ratios],
+        "overhead_median_pairwise": round(statistics.median(ratios), 3),
+    }
+
+
+def aggregator_sweep(trials: int, steps: int):
+    out = {}
+    for agg in ("median", "trimmed_mean", "norm_clip", "multi_krum"):
+        out[agg] = aggregator_trial(agg, trials, steps)
+        print(f"aggregator/{agg}: {out[agg]}")
+    return out
 
 
 def runlog_byte_identity(method: str = "bsp", n_steps: int = 6) -> bool:
@@ -243,6 +296,7 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "methods": {},
             "micro": micro_flat_ops(),
+            "aggregator_overhead": aggregator_sweep(trials, steps_on),
         }
         for method in ("bsp", "selsync"):
             results["methods"][method] = {

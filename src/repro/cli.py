@@ -88,7 +88,46 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--min-quorum", type=int, default=None,
         help="min workers per aggregation round before QuorumLostError "
-        "(default: all workers)",
+        "(default: all workers; 1 with --health)",
+    )
+    p.add_argument(
+        "--aggregator", default="mean",
+        choices=["mean", "median", "trimmed_mean", "norm_clip", "krum", "multi_krum"],
+        help="aggregation strategy for synchronous rounds (mean is the "
+        "paper's protocol and the byte-identical default; the rest are "
+        "Byzantine-robust — see repro.core.robust)",
+    )
+    p.add_argument(
+        "--trim-f", type=int, default=1, metavar="F",
+        help="trim/Byzantine count f for trimmed_mean/krum/multi_krum",
+    )
+    p.add_argument(
+        "--clip-factor", type=float, default=3.0,
+        help="norm cap multiplier for --aggregator norm_clip",
+    )
+    p.add_argument(
+        "--health", action="store_true",
+        help="enable per-worker health tracking and quarantine "
+        "(see repro.cluster.health)",
+    )
+    p.add_argument(
+        "--health-threshold", type=float, default=3.0,
+        help="EWMA outlier score above which a worker is quarantined",
+    )
+    p.add_argument(
+        "--probation", type=int, default=20, metavar="STEPS",
+        help="steps a quarantined worker sits out before reinstatement",
+    )
+    p.add_argument(
+        "--max-recoveries", type=int, default=None, metavar="N",
+        help="wrap the run in a RecoverySupervisor: roll back to the "
+        "latest checkpoint and retry up to N times on quorum loss "
+        "or divergence",
+    )
+    p.add_argument(
+        "--divergence-threshold", type=float, default=None,
+        help="replica-spread level the supervisor's watchdog treats as "
+        "divergence (requires --max-recoveries)",
     )
 
 
@@ -122,6 +161,12 @@ def _build(args, spec: MethodSpec):
             "executor_procs": getattr(args, "procs", None),
             "fault_spec": getattr(args, "fault_spec", None),
             "min_quorum": getattr(args, "min_quorum", None),
+            "aggregator": getattr(args, "aggregator", "mean"),
+            "trim_f": getattr(args, "trim_f", 1),
+            "clip_factor": getattr(args, "clip_factor", 3.0),
+            "health": getattr(args, "health", False),
+            "health_threshold": getattr(args, "health_threshold", 3.0),
+            "probation": getattr(args, "probation", 20),
         },
     )
 
@@ -134,6 +179,17 @@ def cmd_run(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(path=args.trace_path, name=spec.kind)
+    supervisor = None
+    if args.max_recoveries is not None:
+        from repro.core.recovery import RecoverySupervisor
+
+        supervisor = RecoverySupervisor(
+            max_recoveries=args.max_recoveries,
+            divergence_threshold=args.divergence_threshold,
+        )
+    elif args.divergence_threshold is not None:
+        print("--divergence-threshold requires --max-recoveries")
+        return 2
     res = run_method(
         spec, built, n_steps=args.steps, eval_every=args.eval_every,
         checkpoint_every=args.checkpoint_every,
@@ -141,6 +197,7 @@ def cmd_run(args) -> int:
         resume_from=args.resume,
         stop_after=args.stop_after,
         tracer=tracer,
+        supervisor=supervisor,
     )
     rows = [
         ["method", spec.display],
@@ -153,6 +210,8 @@ def cmd_run(args) -> int:
     ]
     if res.log.faults:
         rows.append(["n_faults", res.log.n_faults])
+    if supervisor is not None:
+        rows.append(["n_recoveries", len(supervisor.recoveries)])
     print(render_table(["field", "value"], rows))
     if tracer is not None:
         tracer.close()

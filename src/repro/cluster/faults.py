@@ -47,7 +47,7 @@ Example: ``crash:w2@50-120,straggle:w0x4@30+,drop:p=0.05``.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,7 +57,23 @@ from repro import obs
 
 class QuorumLostError(RuntimeError):
     """Raised when fewer workers than ``min_quorum`` can contribute to an
-    aggregation round — a loud failure instead of a silently wrong mean."""
+    aggregation round — a loud failure instead of a silently wrong mean.
+
+    Instances raised by the trainers carry ``step`` / ``contributing`` /
+    ``quorum`` attributes so a recovery supervisor can relax the quorum to
+    the surviving worker set before retrying.
+    """
+
+    step: int = -1
+    contributing: int = -1
+    quorum: int = -1
+
+
+class NonFiniteUpdateError(ValueError):
+    """A NaN/Inf update vector reached an aggregation point that cannot
+    tolerate it (the plain-mean path, or a robust round where *every*
+    contribution was non-finite). Subclasses ``ValueError`` so existing
+    shape-validation handlers keep working."""
 
 
 #: Abandon an upload after this many failed retries (the update is lost for
@@ -161,6 +177,38 @@ class CorruptFault:
         return f"corrupt:w{self.worker}@{self.start}-{self.end}"
 
 
+@dataclass(frozen=True)
+class RandomCorruptFault:
+    """Adversarial (finite) corruption: each covered worker's gradient is
+    replaced with a hostile vector with probability ``p`` per step.
+
+    Unlike :class:`CorruptFault`'s NaN burst — which any finiteness check
+    detects — the adversarial gradient is fully finite (a scaled sign-flip
+    plus large-norm noise), so a plain mean silently averages it in. This
+    is the threat model robust aggregators exist for. ``worker=None``
+    covers all workers.
+    """
+
+    p: float
+    worker: Optional[int] = None
+    start: int = 0
+    end: Optional[int] = None
+
+    kind = "adversarial"
+
+    def covers(self, worker: int, step: int) -> bool:
+        if self.worker is not None and worker != self.worker:
+            return False
+        return step >= self.start and (self.end is None or step < self.end)
+
+    def to_spec(self) -> str:
+        prefix = "corrupt:" if self.worker is None else f"corrupt:w{self.worker}:"
+        s = f"{prefix}p={_number_str(self.p)}"
+        if self.start != 0 or self.end is not None:
+            s += f"@{_window_str(self.start, self.end)}"
+        return s
+
+
 def _window_str(start: int, end: Optional[int]) -> str:
     return f"{start}+" if end is None else f"{start}-{end}"
 
@@ -184,10 +232,17 @@ class FaultPlan:
     straggles: Tuple[StraggleFault, ...] = ()
     drops: Tuple[DropFault, ...] = ()
     corruptions: Tuple[CorruptFault, ...] = ()
+    rand_corruptions: Tuple[RandomCorruptFault, ...] = ()
 
     @property
     def empty(self) -> bool:
-        return not (self.crashes or self.straggles or self.drops or self.corruptions)
+        return not (
+            self.crashes
+            or self.straggles
+            or self.drops
+            or self.corruptions
+            or self.rand_corruptions
+        )
 
     def to_spec(self) -> str:
         """Canonical spec string: kinds in a fixed order, each kind sorted
@@ -200,6 +255,13 @@ class FaultPlan:
             for d in sorted(self.drops, key=lambda d: (-1 if d.worker is None else d.worker, d.start))
         ]
         clauses += [c.to_spec() for c in sorted(self.corruptions, key=lambda c: (c.worker, c.start))]
+        clauses += [
+            r.to_spec()
+            for r in sorted(
+                self.rand_corruptions,
+                key=lambda r: (-1 if r.worker is None else r.worker, r.start),
+            )
+        ]
         return ",".join(clauses)
 
     def max_worker(self) -> int:
@@ -208,6 +270,7 @@ class FaultPlan:
         ids += [s.worker for s in self.straggles]
         ids += [d.worker for d in self.drops if d.worker is not None]
         ids += [c.worker for c in self.corruptions]
+        ids += [r.worker for r in self.rand_corruptions if r.worker is not None]
         return max(ids) if ids else -1
 
     def validate(self, n_workers: int) -> None:
@@ -245,6 +308,7 @@ def _parse_window(text: str, clause: str) -> Tuple[int, Optional[int], bool]:
 _CRASH_RE = re.compile(r"^crash:w(\d+)@(.+)$")
 _STRAGGLE_RE = re.compile(r"^straggle:w(\d+)x([0-9.eE+-]+)@(.+)$")
 _CORRUPT_RE = re.compile(r"^corrupt:w(\d+)@(.+)$")
+_RAND_CORRUPT_RE = re.compile(r"^corrupt:(?:w(\d+):)?p=([0-9.eE+-]+?)(?:@(.+))?$")
 _DROP_RE = re.compile(r"^drop:(?:w(\d+):)?p=([0-9.eE+-]+?)(?:@(.+))?$")
 
 
@@ -260,6 +324,7 @@ def parse_fault_spec(spec: Optional[str]) -> FaultPlan:
     straggles: List[StraggleFault] = []
     drops: List[DropFault] = []
     corruptions: List[CorruptFault] = []
+    rand_corruptions: List[RandomCorruptFault] = []
     for raw in spec.split(","):
         clause = raw.strip()
         if not clause:
@@ -280,6 +345,25 @@ def parse_fault_spec(spec: Optional[str]) -> FaultPlan:
             start, end, _ = _parse_window(m.group(3), clause)
             straggles.append(
                 StraggleFault(worker=int(m.group(1)), factor=factor, start=start, end=end)
+            )
+        elif clause.startswith("corrupt:") and "p=" in clause:
+            # Probabilistic *adversarial* corruption, mirroring the drop
+            # grammar: ``corrupt:[wID:]p=PROB[@window]``.
+            m = _RAND_CORRUPT_RE.match(clause)
+            if not m:
+                raise ValueError(f"bad corrupt clause {clause!r}")
+            p = float(m.group(2))
+            if not 0.0 < p <= 1.0:
+                raise ValueError(
+                    f"corrupt probability must be in (0, 1], got {clause!r}"
+                )
+            worker = None if m.group(1) is None else int(m.group(1))
+            if m.group(3) is None:
+                start, end = 0, None
+            else:
+                start, end, _ = _parse_window(m.group(3), clause)
+            rand_corruptions.append(
+                RandomCorruptFault(p=p, worker=worker, start=start, end=end)
             )
         elif clause.startswith("corrupt:"):
             m = _CORRUPT_RE.match(clause)
@@ -322,6 +406,12 @@ def parse_fault_spec(spec: Optional[str]) -> FaultPlan:
             sorted(drops, key=lambda d: (-1 if d.worker is None else d.worker, d.start))
         ),
         corruptions=tuple(sorted(corruptions, key=lambda c: (c.worker, c.start))),
+        rand_corruptions=tuple(
+            sorted(
+                rand_corruptions,
+                key=lambda r: (-1 if r.worker is None else r.worker, r.start),
+            )
+        ),
     )
 
 
@@ -340,7 +430,11 @@ class StepFaults:
     ``live`` is the list of worker ids that are up this step; ``crashed`` /
     ``rejoined`` are the transitions that happened *at* this step (rejoined
     workers are live and need their state restored); ``corrupted`` lists the
-    live workers whose gradient will be poisoned this step.
+    live workers whose gradient will be NaN-poisoned this step;
+    ``adversarial`` lists the live workers whose gradient is replaced with a
+    finite hostile vector (they still *look* healthy to any finiteness
+    check and stay in the contributing set — only robust aggregation or
+    health screening can defuse them).
     """
 
     step: int
@@ -348,6 +442,7 @@ class StepFaults:
     crashed: List[int]
     rejoined: List[int]
     corrupted: List[int]
+    adversarial: List[int] = field(default_factory=list)
 
 
 class FaultInjector:
@@ -404,9 +499,18 @@ class FaultInjector:
         crashed = list(dict.fromkeys(crashed))
         rejoined = list(dict.fromkeys(rejoined))
         corrupted = list(dict.fromkeys(corrupted))
+        corrupted_set = set(corrupted)
+        adversarial = [
+            w
+            for w in live
+            # A NaN burst takes precedence over the adversarial draw; the
+            # draw itself is still consumed deterministically per worker.
+            if self.adversarial_corrupts(w, step) and w not in corrupted_set
+        ] if self.plan.rand_corruptions else []
         return StepFaults(
             step=step, live=live, crashed=crashed,
             rejoined=rejoined, corrupted=corrupted,
+            adversarial=adversarial,
         )
 
     # -- stragglers -------------------------------------------------------
@@ -488,6 +592,48 @@ class FaultInjector:
         out.flat[int(rng.integers(0, n))] = np.inf if rng.random() < 0.5 else -np.inf
         return out
 
+    # -- adversarial (finite) corruption ----------------------------------
+    #: Norm of an adversarial gradient relative to the honest one. Large
+    #: enough that one hostile vector in a mean of ~8-16 visibly derails
+    #: training; trivially trimmed by any coordinate-wise robust rule.
+    ADVERSARIAL_BOOST = 40.0
+
+    def adversarial_corrupts(self, worker: int, step: int) -> bool:
+        """Deterministic Bernoulli: is this worker's gradient replaced with
+        a hostile vector at this step? Independent clauses compose like
+        drop probabilities."""
+        p = 0.0
+        for r in self.plan.rand_corruptions:
+            if r.covers(worker, step):
+                p = 1.0 - (1.0 - p) * (1.0 - r.p)
+        if p <= 0.0:
+            return False
+        rng = self._event_rng(worker, step, salt=0xAD)
+        return bool(rng.random() < p)
+
+    def adversarial_gradient(
+        self, worker: int, step: int, grad: np.ndarray
+    ) -> np.ndarray:
+        """A finite hostile gradient: sign-flipped and noise-boosted to
+        ``ADVERSARIAL_BOOST ×`` the honest norm.
+
+        Every entry is finite, so finiteness checks pass and a plain mean
+        averages it straight into the global model — the Byzantine threat
+        model robust aggregation exists for. Deterministic per
+        ``(seed, worker, step)``.
+        """
+        tr = obs.active()
+        if tr is not None:
+            tr.metrics.inc("faults.adversarial")
+        rng = self._event_rng(worker, step, salt=0xAE)
+        g = np.asarray(grad, dtype=np.float64)
+        norm = float(np.linalg.norm(g))
+        if norm == 0.0 or not np.isfinite(norm):
+            norm = 1.0
+        noise = rng.standard_normal(g.shape)
+        noise *= (norm / max(float(np.linalg.norm(noise)), 1e-30))
+        return self.ADVERSARIAL_BOOST * (noise - g)
+
     # -- introspection ----------------------------------------------------
     def event_trace(self, n_steps: int) -> List[Tuple]:
         """Flat, ordered list of every event the plan injects in
@@ -509,4 +655,6 @@ class FaultInjector:
                     trace.append(("drop", step, w, retries, lost))
             for w in sf.corrupted:
                 trace.append(("corrupt", step, w))
+            for w in sf.adversarial:
+                trace.append(("adv_corrupt", step, w))
         return trace

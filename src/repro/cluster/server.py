@@ -4,6 +4,16 @@ Implements the PS side of Alg. 1 (``pushToPS`` / ``pullFromPS``) plus the
 versioned asynchronous interface SSP needs (each async push advances the
 global version; staleness of a worker = versions applied since it last
 pulled).
+
+Aggregation is pluggable: with ``aggregator=None`` (the default) the PS
+runs the original plain-mean arithmetic bit-for-bit; handing it a
+:class:`repro.core.robust.Aggregator` routes every synchronous round
+through that strategy (non-finite pre-filter included) and the
+asynchronous path through its ``async_transform`` hook. Either way a
+non-finite update can no longer silently corrupt the global model: the
+mean path rejects it with a typed
+:class:`~repro.cluster.faults.NonFiniteUpdateError`, a robust aggregator
+drops it on the floor.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.faults import NonFiniteUpdateError
 from repro.utils import fastpath
 from repro.utils.flatten import mean_into
 
@@ -29,12 +40,15 @@ class ParameterServer:
     nothing proportional to the model size.
     """
 
-    def __init__(self, init_params: np.ndarray):
+    def __init__(self, init_params: np.ndarray, aggregator=None):
         self._params = np.array(init_params, dtype=np.float64, copy=True)
         # Scratch for gradient aggregation; separate from ``_params`` because
         # GA averages gradients without moving the globals.
         self._agg: Optional[np.ndarray] = None
         self.version: int = 0
+        #: Optional robust :class:`~repro.core.robust.Aggregator`; ``None``
+        #: keeps the exact legacy mean path (byte-identity contract).
+        self.aggregator = aggregator
 
     @property
     def n_params(self) -> int:
@@ -58,9 +72,12 @@ class ParameterServer:
         return self._readonly(self._params)
 
     def aggregate_params(self, pushed: Sequence[np.ndarray]) -> np.ndarray:
-        """Parameter aggregation: global ← mean of pushed replicas."""
+        """Parameter aggregation: global ← aggregate of pushed replicas."""
         self._check(pushed)
         self.version += 1
+        if self.aggregator is not None:
+            self.aggregator.reduce(pushed, out=self._params, where="params")
+            return self._readonly(self._params)
         if fastpath.is_enabled():
             mean_into(pushed, out=self._params)
             return self._readonly(self._params)
@@ -68,11 +85,17 @@ class ParameterServer:
         return self._params.copy()
 
     def aggregate_grads(self, grads: Sequence[np.ndarray]) -> np.ndarray:
-        """Gradient aggregation: return the mean gradient (global params are
-        NOT moved — in GA each worker applies the mean to its own replica,
-        which is exactly the divergence mechanism §III-C describes)."""
+        """Gradient aggregation: return the aggregate gradient (global
+        params are NOT moved — in GA each worker applies the aggregate to
+        its own replica, which is exactly the divergence mechanism §III-C
+        describes)."""
         self._check(grads)
         self.version += 1
+        if self.aggregator is not None:
+            if self._agg is None or self._agg.shape != self._params.shape:
+                self._agg = np.empty_like(self._params)
+            self.aggregator.reduce(grads, out=self._agg, where="grads")
+            return self._readonly(self._agg)
         if fastpath.is_enabled():
             if self._agg is None or self._agg.shape != self._params.shape:
                 self._agg = np.empty_like(self._params)
@@ -85,12 +108,22 @@ class ParameterServer:
         """Apply one worker's update vector to the global params immediately.
 
         Returns the new version. ``update`` is the delta to *add* (callers
-        pass ``-lr * grad``).
+        pass ``-lr * grad``). Non-finite updates are rejected with a typed
+        error — a NaN entering here would poison the globals for every
+        later pull. With a robust aggregator installed, the update first
+        passes through its ``async_transform`` hook (norm clipping).
         """
         if update.shape != self._params.shape:
             raise ValueError(
                 f"update shape {update.shape} != params {self._params.shape}"
             )
+        if not np.isfinite(update).all():
+            raise NonFiniteUpdateError(
+                "async update contains NaN/Inf; refusing to apply it to the "
+                "global model"
+            )
+        if self.aggregator is not None:
+            update = self.aggregator.async_transform(update)
         self._params += update
         self.version += 1
         return self.version
@@ -103,6 +136,17 @@ class ParameterServer:
                 raise ValueError(
                     f"vector shape {v.shape} != params {self._params.shape}"
                 )
+        # The plain mean has breakdown point 0: one NaN poisons the global
+        # model, so reject loudly. Robust aggregators pre-filter instead
+        # (dropping the offender is the whole point of having them).
+        if self.aggregator is None:
+            for i, v in enumerate(vectors):
+                if not np.isfinite(v).all():
+                    raise NonFiniteUpdateError(
+                        f"update vector {i} of {len(vectors)} contains "
+                        "NaN/Inf; refusing to average it into the global "
+                        "model (use a robust aggregator to drop it instead)"
+                    )
 
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> dict:

@@ -39,6 +39,7 @@ class SimGroup:
         n_workers: int,
         net: NetworkModel = None,
         topology="ps",
+        aggregator=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -47,6 +48,12 @@ class SimGroup:
         self.topology: Topology = (
             topology if isinstance(topology, Topology) else build_topology(topology)
         )
+        #: Optional robust :class:`~repro.core.robust.Aggregator` applied by
+        #: :meth:`allreduce_mean` in place of the plain mean; ``None`` keeps
+        #: the exact legacy arithmetic (byte-identity contract). Timing and
+        #: byte accounting are strategy-independent — a robust round moves
+        #: the same payload over the same links.
+        self.aggregator = aggregator
         # Byte/op counters so experiments can report communication volume.
         self.bytes_synced: int = 0
         self.n_syncs: int = 0
@@ -86,7 +93,13 @@ class SimGroup:
         for v in vectors[1:]:
             if np.asarray(v).shape != first.shape:
                 raise ValueError("allreduce requires equally-shaped vectors")
-        if fastpath.is_enabled():
+        if self.aggregator is not None:
+            if self._mean_buf is None or self._mean_buf.shape != first.shape:
+                self._mean_buf = np.empty(first.shape, dtype=np.float64)
+            self.aggregator.reduce(vectors, out=self._mean_buf, where="allreduce")
+            mean = self._mean_buf.view()
+            mean.flags.writeable = False
+        elif fastpath.is_enabled():
             # Average into a reusable buffer (bitwise-identical to the stack
             # reduce below) and hand out a read-only view — callers consume
             # the mean before the next collective.

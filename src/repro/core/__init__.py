@@ -26,6 +26,18 @@ from repro.core.divergence import (
     divergence_from,
     replica_spread,
 )
+from repro.core.robust import (
+    AGGREGATORS,
+    Aggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MedianAggregator,
+    MultiKrumAggregator,
+    NormClipAggregator,
+    TrimmedMeanAggregator,
+    make_aggregator,
+)
+from repro.core.recovery import DivergenceExceededError, RecoverySupervisor
 from repro.core import compression
 
 __all__ = [
@@ -51,5 +63,16 @@ __all__ = [
     "DivergenceTracker",
     "divergence_from",
     "replica_spread",
+    "AGGREGATORS",
+    "Aggregator",
+    "KrumAggregator",
+    "MeanAggregator",
+    "MedianAggregator",
+    "MultiKrumAggregator",
+    "NormClipAggregator",
+    "TrimmedMeanAggregator",
+    "make_aggregator",
+    "DivergenceExceededError",
+    "RecoverySupervisor",
     "compression",
 ]

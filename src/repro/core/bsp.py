@@ -52,7 +52,7 @@ class BSPTrainer(DistributedTrainer):
 
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)
-        degraded = self.faults.active
+        degraded = self.degraded_mode
         live = sf.live
         live_workers = [self.workers[w] for w in live]
 
@@ -61,8 +61,10 @@ class BSPTrainer(DistributedTrainer):
         losses = self.executor.compute_gradients(live_workers)
 
         # Live workers whose gradient survived corruption push this round;
-        # workers whose upload is abandoned after retries drop out too.
+        # health-flagged workers and workers whose upload is abandoned
+        # after retries drop out too.
         pushers = self.apply_corruption(sf)
+        pushers = self.screen_updates(i, pushers, observed=live)
         t_retry, lost = self.upload_penalty(pushers, i)
         if lost:
             lost_set = set(lost)
@@ -70,7 +72,9 @@ class BSPTrainer(DistributedTrainer):
         self.check_quorum(len(pushers), i)
 
         if self._compressors is None:
-            grads = [self.workers[w].get_grads() for w in pushers]
+            grads = self.wire_updates(
+                pushers, [self.workers[w].get_grads() for w in pushers]
+            )
             payload = self.comm_bytes
             overhead = 0.0
         else:
@@ -84,6 +88,8 @@ class BSPTrainer(DistributedTrainer):
                 overheads.append(comp.overhead_seconds)
             payload = float(np.mean(payloads))
             overhead = float(np.max(overheads))
+            # A Byzantine worker's lie is what arrives after decompression.
+            grads = self.wire_updates(pushers, grads)
 
         mean_grad, t_s = self.group.allreduce_mean(
             grads, nbytes=payload, n_live=len(pushers) if degraded else None

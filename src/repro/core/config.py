@@ -9,8 +9,10 @@ from typing import Callable, Optional
 from repro.cluster.compute import ComputeModel
 from repro.cluster.executor import EXECUTOR_KINDS, WorkerExecutor, make_executor
 from repro.cluster.faults import FaultInjector, parse_fault_spec
+from repro.cluster.health import HealthTracker
 from repro.comm.collectives import SimGroup
 from repro.comm.network import NetworkModel
+from repro.core.robust import AGGREGATORS, Aggregator, make_aggregator
 
 
 @dataclass
@@ -74,8 +76,28 @@ class ClusterConfig:
     #: :class:`~repro.cluster.faults.QuorumLostError` instead of silently
     #: averaging a partial mean. ``None`` means *all* workers (any loss of
     #: a contribution is loud); set lower to opt in to degraded-mode
-    #: aggregation over the live subset.
+    #: aggregation over the live subset. With health quarantine enabled,
+    #: ``None`` falls back to a floor of 1 instead — quarantining any
+    #: worker would otherwise always violate the all-workers quorum.
     min_quorum: Optional[int] = None
+    #: Aggregation strategy for every synchronous round (see
+    #: :mod:`repro.core.robust`): ``"mean"`` (the paper's protocol, exact
+    #: legacy arithmetic — byte-identical to builds without the robust
+    #: layer), ``"median"``, ``"trimmed_mean"``, ``"norm_clip"``,
+    #: ``"krum"`` or ``"multi_krum"``.
+    aggregator: str = "mean"
+    #: Trim/Byzantine count f for ``trimmed_mean``/``krum``/``multi_krum``.
+    trim_f: int = 1
+    #: Norm cap multiplier for ``norm_clip`` (cap = factor × median norm).
+    clip_factor: float = 3.0
+    #: Enable per-worker health tracking and quarantine
+    #: (:class:`repro.cluster.health.HealthTracker`). Off by default —
+    #: health-off runs are byte-identical to builds without the subsystem.
+    health: bool = False
+    #: Quarantine when a worker's EWMA outlier score exceeds this.
+    health_threshold: float = 3.0
+    #: Steps a quarantined worker sits out before reinstatement.
+    probation: int = 20
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -103,19 +125,73 @@ class ClusterConfig:
             raise ValueError(
                 f"min_quorum must be in [1, {self.n_workers}], got {self.min_quorum}"
             )
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS.names()}, "
+                f"got {self.aggregator!r}"
+            )
+        if self.trim_f < 0:
+            raise ValueError(f"trim_f must be >= 0, got {self.trim_f}")
+        if self.clip_factor <= 0:
+            raise ValueError(f"clip_factor must be > 0, got {self.clip_factor}")
+        if self.health_threshold <= 0:
+            raise ValueError(
+                f"health_threshold must be > 0, got {self.health_threshold}"
+            )
+        if self.probation < 1:
+            raise ValueError(f"probation must be >= 1, got {self.probation}")
 
     @property
     def effective_quorum(self) -> int:
-        """Quorum actually enforced: ``min_quorum`` or all workers."""
-        return self.n_workers if self.min_quorum is None else self.min_quorum
+        """Quorum actually enforced: ``min_quorum``, or all workers — except
+        under health quarantine, where the all-workers default collapses to
+        1 (excluding a flagged worker must not instantly kill the run)."""
+        if self.min_quorum is not None:
+            return self.min_quorum
+        return 1 if self.health else self.n_workers
+
+    def make_aggregator(self) -> Optional[Aggregator]:
+        """Robust aggregator instance, or ``None`` for the plain mean.
+
+        ``"mean"`` maps to ``None`` so default runs bypass the robust layer
+        entirely — no pre-filter pass, no decision events, bit-for-bit the
+        original arithmetic. The registered mean strategy remains available
+        for direct use and property tests.
+        """
+        if self.aggregator == "mean":
+            return None
+        return make_aggregator(
+            self.aggregator, trim_f=self.trim_f, clip_factor=self.clip_factor
+        )
+
+    def make_health(self) -> Optional[HealthTracker]:
+        if not self.health:
+            return None
+        # Quarantine floor: at least a strict majority stays active (and
+        # never below the quorum). Isolating half the cluster or more means
+        # the "consensus" the outlier scores compare against is itself
+        # suspect — and coordinate-wise robust aggregators lose their
+        # breakdown guarantee as the cohort shrinks.
+        floor = max(self.effective_quorum, self.n_workers // 2 + 1)
+        return HealthTracker(
+            self.n_workers,
+            threshold=self.health_threshold,
+            probation=self.probation,
+            min_active=min(floor, self.n_workers),
+        )
 
     def make_fault_injector(self) -> FaultInjector:
         return FaultInjector(
             parse_fault_spec(self.fault_spec), self.n_workers, seed=self.seed
         )
 
-    def make_group(self) -> SimGroup:
-        return SimGroup(self.n_workers, net=self.net, topology=self.topology)
+    def make_group(self, aggregator: Optional[Aggregator] = None) -> SimGroup:
+        return SimGroup(
+            self.n_workers,
+            net=self.net,
+            topology=self.topology,
+            aggregator=aggregator,
+        )
 
     def make_executor(self) -> WorkerExecutor:
         return make_executor(
@@ -176,6 +252,12 @@ class TrainConfig:
         executor, faults) emits typed events into it. ``None`` (the
         default) disables tracing entirely — traced-off runs are
         bitwise-identical to untraced ones.
+    step_monitor:
+        Optional ``(trainer, step) -> None`` callback invoked after every
+        completed step. The recovery supervisor installs its divergence
+        watchdog here (raising aborts the run and triggers rollback);
+        ``None`` (the default) changes nothing — monitored-off runs are
+        bitwise-identical.
     """
 
     n_steps: int = 200
@@ -189,6 +271,7 @@ class TrainConfig:
     resume_from: Optional[str] = None
     stop_after: Optional[int] = None
     tracer: Optional[object] = None
+    step_monitor: Optional[Callable] = None
 
     def __post_init__(self):
         if self.n_steps < 1:

@@ -64,7 +64,7 @@ class EASGDTrainer(DistributedTrainer):
 
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)
-        degraded = self.faults.active
+        degraded = self.degraded_mode
         live = sf.live
 
         batch = self.workers[0].loader.batch_size
@@ -72,8 +72,10 @@ class EASGDTrainer(DistributedTrainer):
         lr = self.lr(i)
         losses = self.executor.compute_gradients([self.workers[w] for w in live])
         # Corrupted gradients are dropped, not applied (the worker loses
-        # one local step but stays elastically coupled).
+        # one local step but stays elastically coupled); a freshly
+        # quarantined worker loses its step the same way.
         stepping = set(self.apply_corruption(sf))
+        stepping = set(self.screen_updates(i, sorted(stepping), observed=live))
         for wid in live:
             if wid in stepping:
                 self.workers[wid].local_step(lr)
@@ -82,9 +84,14 @@ class EASGDTrainer(DistributedTrainer):
         t_s = 0.0
         if synced:
             # The elastic exchange is symmetric: a worker whose push is
-            # lost neither moves the center nor is pulled toward it.
+            # lost neither moves the center nor is pulled toward it. A
+            # quarantined worker sits the exchange out entirely.
             t_retry, lost = self.upload_penalty(live, i)
             exchangers = [w for w in live if w not in set(lost)]
+            if self.health is not None:
+                exchangers = [
+                    w for w in exchangers if not self.health.quarantined(w)
+                ]
             self.check_quorum(len(exchangers), i)
             diffs = []
             for wid in exchangers:
@@ -95,7 +102,21 @@ class EASGDTrainer(DistributedTrainer):
                 d = p - self.center
                 w.set_params(p - self.rho * d)
                 diffs.append(d)
-            self.center = self.center + self.rho * np.sum(diffs, axis=0)
+            # A Byzantine exchanger pulls toward the center honestly (its
+            # replica is its own business) but lies about the difference
+            # it reports, so only the center update sees the hostile push.
+            diffs = self.wire_updates(exchangers, diffs)
+            if self.aggregator is not None:
+                # Robust center update: ρ · k · robust-mean of the elastic
+                # differences (for the mean strategy this equals the sum,
+                # so the classic update is the aggregator=None special
+                # case — kept verbatim below for byte-identity).
+                agg = np.asarray(
+                    self.aggregator.reduce(diffs, where="elastic")
+                )
+                self.center = self.center + self.rho * len(diffs) * agg
+            else:
+                self.center = self.center + self.rho * np.sum(diffs, axis=0)
             tr = obs.active()
             if tr is not None:
                 tr.emit("aggregation", kind="elastic", n_contrib=len(exchangers))

@@ -62,7 +62,7 @@ class FedAvgTrainer(DistributedTrainer):
 
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)
-        degraded = self.faults.active
+        degraded = self.degraded_mode
         live = sf.live
         live_workers = [self.workers[w] for w in live]
 
@@ -71,8 +71,10 @@ class FedAvgTrainer(DistributedTrainer):
         lr = self.lr(i)
         losses = self.executor.compute_gradients(live_workers)
         # A corrupted gradient must not land on the replica FedAvg will
-        # later average in; that worker skips this local step.
+        # later average in; that worker skips this local step. Health
+        # screening removes freshly quarantined workers the same way.
         stepping = set(self.apply_corruption(sf))
+        stepping = set(self.screen_updates(i, sorted(stepping), observed=live))
         for wid in live:
             if wid in stepping:
                 self.workers[wid].local_step(lr)
@@ -106,7 +108,9 @@ class FedAvgTrainer(DistributedTrainer):
                     for c in self._rng.choice(len(self.workers), size=k, replace=False)
                 ]
                 t_retry = 0.0
-            pushed = [self.workers[c].get_params(copy=False) for c in chosen]
+            pushed = self.wire_updates(
+                chosen, [self.workers[c].get_params(copy=False) for c in chosen]
+            )
             global_params = self.server.aggregate_params(pushed)
             tr = obs.active()
             if tr is not None:

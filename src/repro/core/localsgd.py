@@ -22,8 +22,10 @@ class LocalSGDTrainer(DistributedTrainer):
         lr = self.lr(i)
         losses = self.executor.compute_gradients([self.workers[w] for w in live])
         # No communication, so no healing pull exists: a corrupted gradient
-        # is simply dropped and that worker loses the step.
+        # is simply dropped and that worker loses the step. Health
+        # screening still runs so a sick worker is quarantined here too.
         stepping = set(self.apply_corruption(sf))
+        stepping = set(self.screen_updates(i, sorted(stepping), observed=live))
         for wid in live:
             if wid in stepping:
                 self.workers[wid].local_step(lr)

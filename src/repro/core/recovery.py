@@ -1,0 +1,242 @@
+"""Automatic rollback recovery: a supervisor around the trainer run loop.
+
+Fault injection makes failures *loud* — :class:`QuorumLostError` aborts a
+run the moment too few workers can contribute, and unbounded replica
+divergence quietly ruins a model long before any metric notices. The
+:class:`RecoverySupervisor` turns both into recoverable incidents:
+
+* **Quorum loss** — relax the quorum to the surviving contributor count
+  (never below ``quorum_floor``), roll back to the latest checkpoint, and
+  retry with the surviving worker set.
+* **Divergence blow-up** — a step monitor (installed through
+  ``TrainConfig.step_monitor``) watches the replica spread every step;
+  when it stays above ``divergence_threshold`` for ``divergence_patience``
+  consecutive steps the run is aborted with
+  :class:`DivergenceExceededError`, rolled back, and every replica is
+  re-synced to the restored consensus before the retry.
+
+Each recovery waits an exponential backoff (simulated — recorded, never
+slept), up to ``max_recoveries`` attempts. Every incident is recorded as a
+typed ``recovery`` :class:`~repro.utils.runlog.FaultRecord` on the final
+run's log and as a ``fault`` trace event, so the trace remains the ground
+truth of everything that happened — including the aborted attempts.
+
+The supervisor is pure orchestration: a run that never trips either
+trigger executes exactly one ``trainer.run(cfg)`` with an unmodified
+config (when no divergence watchdog is requested), so fault-free runs stay
+bitwise identical to unsupervised ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import List, Optional
+
+from repro.cluster.faults import QuorumLostError
+from repro.core.config import TrainConfig
+from repro.core.divergence import replica_spread
+from repro.core.trainer import DistributedTrainer, TrainResult
+from repro.utils.runlog import FaultRecord
+
+
+class DivergenceExceededError(RuntimeError):
+    """Replica spread stayed above the threshold for too many steps."""
+
+    def __init__(self, msg: str, step: int = -1, spread: float = float("nan")):
+        super().__init__(msg)
+        self.step = step
+        self.spread = spread
+
+
+class RecoverySupervisor:
+    """Run a trainer to completion through quorum-loss/divergence faults.
+
+    Parameters
+    ----------
+    max_recoveries:
+        Recovery attempts before giving up (the final failure re-raises).
+    backoff_base_s:
+        Simulated backoff before retry ``k`` is ``base × 2^(k-1)`` seconds
+        — recorded in the ``recovery`` fault record, never slept for real.
+    divergence_threshold:
+        Replica-spread level that counts as divergence; ``None`` (default)
+        installs no watchdog and leaves ``TrainConfig.step_monitor``
+        untouched.
+    divergence_patience:
+        Consecutive above-threshold steps before the watchdog aborts.
+    quorum_floor:
+        Lowest quorum the supervisor will relax to after a quorum loss.
+    """
+
+    def __init__(
+        self,
+        max_recoveries: int = 3,
+        backoff_base_s: float = 1.0,
+        divergence_threshold: Optional[float] = None,
+        divergence_patience: int = 3,
+        quorum_floor: int = 1,
+    ):
+        if max_recoveries < 0:
+            raise ValueError(f"max_recoveries must be >= 0, got {max_recoveries}")
+        if backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {backoff_base_s}")
+        if divergence_threshold is not None and divergence_threshold <= 0:
+            raise ValueError(
+                f"divergence_threshold must be > 0, got {divergence_threshold}"
+            )
+        if divergence_patience < 1:
+            raise ValueError(
+                f"divergence_patience must be >= 1, got {divergence_patience}"
+            )
+        if quorum_floor < 1:
+            raise ValueError(f"quorum_floor must be >= 1, got {quorum_floor}")
+        self.max_recoveries = int(max_recoveries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.divergence_threshold = divergence_threshold
+        self.divergence_patience = int(divergence_patience)
+        self.quorum_floor = int(quorum_floor)
+        #: ``recovery`` records of every incident handled so far (also
+        #: appended to the final result's RunLog).
+        self.recoveries: List[FaultRecord] = []
+        self._hot_streak = 0
+
+    # -- divergence watchdog ----------------------------------------------
+    def _monitor(self, trainer: DistributedTrainer, step: int) -> None:
+        spread = replica_spread(trainer.workers)
+        if spread > self.divergence_threshold:
+            self._hot_streak += 1
+            if self._hot_streak >= self.divergence_patience:
+                raise DivergenceExceededError(
+                    f"step {step}: replica spread {spread:.3g} above "
+                    f"{self.divergence_threshold:.3g} for "
+                    f"{self._hot_streak} consecutive steps",
+                    step=step,
+                    spread=spread,
+                )
+        else:
+            self._hot_streak = 0
+
+    def _wrap(self, cfg: TrainConfig) -> TrainConfig:
+        if self.divergence_threshold is None:
+            return cfg
+        if cfg.step_monitor is not None:
+            raise ValueError(
+                "TrainConfig.step_monitor is already set; the supervisor's "
+                "divergence watchdog would overwrite it"
+            )
+        return dataclasses.replace(cfg, step_monitor=self._monitor)
+
+    # -- rollback ----------------------------------------------------------
+    def _rollback(self, trainer: DistributedTrainer, cfg: TrainConfig) -> TrainConfig:
+        """Restore the latest checkpoint (or the initial snapshot) and
+        return the config the retry should run with."""
+        ck_path = cfg.checkpoint_path
+        if ck_path is not None and os.path.exists(ck_path):
+            # Resume from the on-disk checkpoint: trainer state, step
+            # counter, and run log all restore inside trainer.run().
+            return dataclasses.replace(cfg, resume_from=ck_path)
+        # No checkpoint yet: roll back to the pre-run snapshot and retry
+        # from step 0.
+        trainer.load_state_dict(self._initial_state)
+        return dataclasses.replace(cfg, resume_from=None)
+
+    def _record(
+        self,
+        cfg: TrainConfig,
+        step: int,
+        attempt: int,
+        reason: str,
+        detail: dict,
+    ) -> FaultRecord:
+        backoff = self.backoff_base_s * (2.0 ** (attempt - 1))
+        rec = FaultRecord(
+            step=step,
+            worker=-1,
+            kind="recovery",
+            detail={"attempt": attempt, "reason": reason, "backoff_s": backoff, **detail},
+        )
+        self.recoveries.append(rec)
+        tr = cfg.tracer
+        if tr is not None:
+            # Emitted directly (the run that raised has already torn down
+            # its obs context): the trace keeps the aborted attempt's
+            # events *and* the incident that ended it.
+            tr.emit(
+                "fault",
+                step=step,
+                worker=-1,
+                fault_kind="recovery",
+                **rec.detail,
+            )
+        return rec
+
+    # -- the supervised loop ----------------------------------------------
+    def run(self, trainer: DistributedTrainer, cfg: TrainConfig) -> TrainResult:
+        """``trainer.run(cfg)`` with rollback-and-retry around it."""
+        cfg = self._wrap(cfg)
+        # Pre-run snapshot: the rollback target before the first checkpoint
+        # exists. state_dict() copies arrays, so later training does not
+        # mutate it.
+        self._initial_state = trainer.state_dict()
+        attempt = 0
+        while True:
+            try:
+                self._hot_streak = 0
+                result = trainer.run(cfg)
+                for rec in self.recoveries:
+                    result.log.record_fault(rec)
+                return result
+            except QuorumLostError as e:
+                attempt += 1
+                survivors = max(self.quorum_floor, int(getattr(e, "contributing", 0)))
+                detail = {
+                    "quorum_before": trainer.quorum,
+                    "quorum_after": survivors,
+                    "contributing": int(getattr(e, "contributing", -1)),
+                }
+                self._record(
+                    cfg, int(getattr(e, "step", -1)), attempt,
+                    "quorum_lost", detail,
+                )
+                if attempt > self.max_recoveries:
+                    raise
+                # Degrade to the surviving worker set: demanding the old
+                # quorum again would fail the same way immediately.
+                trainer.quorum = survivors
+                cfg = self._rollback(trainer, cfg)
+            except DivergenceExceededError as e:
+                attempt += 1
+                self._record(
+                    cfg, e.step, attempt,
+                    "divergence", {"spread": float(e.spread)},
+                )
+                if attempt > self.max_recoveries:
+                    raise
+                cfg = self._rollback(trainer, cfg)
+                # The checkpoint was taken mid-drift; collapse the spread
+                # so the retry restarts from consensus instead of diverging
+                # again from the same state.
+                if cfg.resume_from is not None:
+                    trainer.load_state_dict(_checkpoint_state(cfg.resume_from))
+                trainer.resync_replicas()
+                if cfg.checkpoint_path is not None:
+                    # Re-snapshot the resynced state so the retry resumes
+                    # from consensus (not the divergent checkpoint).
+                    _rewrite_checkpoint(cfg, trainer)
+
+
+def _checkpoint_state(path: str) -> dict:
+    from repro.utils.serialization import load_checkpoint
+
+    return load_checkpoint(path)["state"]
+
+
+def _rewrite_checkpoint(cfg: TrainConfig, trainer: DistributedTrainer) -> None:
+    """Overwrite the checkpoint file's trainer state with the resynced one
+    (step counter / log / best metric are kept as saved)."""
+    from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+    ck = load_checkpoint(cfg.checkpoint_path)
+    ck["state"] = trainer.state_dict()
+    save_checkpoint(ck, cfg.checkpoint_path)

@@ -117,7 +117,7 @@ class SelSyncTrainer(DistributedTrainer):
 
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)
-        degraded = self.faults.active
+        degraded = self.degraded_mode
         live = sf.live
         live_workers = [self.workers[w] for w in live]
 
@@ -133,8 +133,18 @@ class SelSyncTrainer(DistributedTrainer):
 
         losses = self.executor.compute_gradients(live_workers, batches)
         # Live workers with an intact gradient; only they update their Δ
-        # tracker and vote — a NaN burst must not poison the EWMA (Eqn. 2).
+        # tracker and vote — a NaN burst must not poison the EWMA (Eqn. 2),
+        # and a health-quarantined worker loses its vote with its push.
         voters = self.apply_corruption(sf)
+        voters = self.screen_updates(i, voters, observed=live)
+        # A *naturally* non-finite gradient (numeric overflow on a replica
+        # poisoned in an earlier round) gets the same treatment as an
+        # injected NaN burst: the worker can neither update its EWMA nor
+        # vote/push this round, and skips its local step until a sync
+        # heals it. Fault-free runs never take this branch.
+        voters = [
+            w for w in voters if np.isfinite(self.workers[w].last_grad_sqnorm)
+        ]
         voter_set = set(voters)
         flags = [0] * len(self.workers)
         deltas = []
@@ -184,7 +194,10 @@ class SelSyncTrainer(DistributedTrainer):
             if sync:
                 # ...then push w_{i+1} and pull the average (lines 14-15).
                 global_params = self.server.aggregate_params(
-                    [self.workers[w].get_params(copy=False) for w in pushers]
+                    self.wire_updates(
+                        pushers,
+                        [self.workers[w].get_params(copy=False) for w in pushers],
+                    )
                 )
                 t_s = self.group.charge_sync(
                     self.comm_bytes, n_live=len(pushers) if degraded else None
@@ -196,7 +209,9 @@ class SelSyncTrainer(DistributedTrainer):
         else:  # gradient aggregation
             if sync:
                 mean_grad = self.server.aggregate_grads(
-                    [self.workers[w].get_grads() for w in pushers]
+                    self.wire_updates(
+                        pushers, [self.workers[w].get_grads() for w in pushers]
+                    )
                 )
                 t_s = self.group.charge_sync(
                     self.comm_bytes, n_live=len(pushers) if degraded else None

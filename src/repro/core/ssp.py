@@ -44,6 +44,13 @@ class SSPTrainer(DistributedTrainer):
         super().__init__(workers, cluster, schedule)
         if staleness < 0:
             raise ValueError(f"staleness must be >= 0, got {staleness}")
+        if self.health is not None:
+            raise NotImplementedError(
+                "SSP's event-driven loop has no lock-step aggregation "
+                "rounds to screen; worker-health quarantine is not "
+                "supported here (the PS-side non-finite guard and the "
+                "norm_clip async transform still protect the globals)"
+            )
         self.staleness = staleness
 
     def _push_pull_time(self) -> float:
@@ -193,7 +200,20 @@ class SSPTrainer(DistributedTrainer):
                         apply_update = False
                         push_delay = 0.0
             if apply_update:
-                self.server.async_apply(-lr_of(k) * w.get_grads())
+                grad = w.get_grads()
+                if self.faults.active and self.faults.adversarial_corrupts(wid, k):
+                    # Finite hostile push: passes the PS finiteness guard
+                    # by design; only norm clipping can blunt it here.
+                    grad = self.faults.adversarial_gradient(wid, k, grad)
+                    self._record_fault(
+                        FaultRecord(
+                            step=k,
+                            worker=wid,
+                            kind="corrupt",
+                            detail={"adversarial": 1},
+                        )
+                    )
+                self.server.async_apply(-lr_of(k) * grad)
             iters[wid] += 1
             completed += 1
             log.record_iteration(

@@ -91,7 +91,11 @@ class DistributedTrainer:
             )
         self.workers = workers
         self.cluster = cluster
-        self.group = cluster.make_group()
+        # One robust-aggregation strategy instance shared by the collectives
+        # and the PS; ``None`` (aggregator="mean") keeps both on the exact
+        # legacy mean arithmetic.
+        self.aggregator = cluster.make_aggregator()
+        self.group = cluster.make_group(self.aggregator)
         self.compute = cluster.make_compute()
         self.executor = cluster.make_executor()
         # Stateful backends need the full group before the first compute
@@ -99,7 +103,9 @@ class DistributedTrainer:
         # per-worker events). The process backend also rebinds the arenas
         # to shared memory here, so do it before anything else takes views.
         self.executor.bind(self.workers)
-        self.server = ParameterServer(workers[0].get_params(copy=False))
+        self.server = ParameterServer(
+            workers[0].get_params(copy=False), aggregator=self.aggregator
+        )
         self.schedule = schedule if schedule is not None else ConstantLR(0.01)
         model = workers[0].model
         self.comm_bytes = (
@@ -111,10 +117,15 @@ class DistributedTrainer:
             else float(cluster.flops_per_sample)
         )
         self.faults = cluster.make_fault_injector()
+        self.health = cluster.make_health()
         self.quorum = cluster.effective_quorum
-        # Live set of the step in flight; None outside fault runs so the
-        # deployable mean covers every worker (the fault-free fast path).
+        # Live set of the step in flight; None outside fault/health runs so
+        # the deployable mean covers every worker (the fault-free fast path).
         self._current_live: Optional[List[int]] = None
+        # Per-worker simulated compute seconds of the latest round; the
+        # health tracker's straggle signal.
+        self._last_compute_times: Optional[np.ndarray] = None
+        self._wire_lies: Dict[int, np.ndarray] = {}
         # In-memory copy of the latest checkpoint; rejoining workers
         # restore their rank state from it (crash-recovery semantics).
         self._latest_checkpoint: Optional[Dict] = None
@@ -139,6 +150,14 @@ class DistributedTrainer:
     def lr(self, i: int) -> float:
         return self.schedule(i)
 
+    @property
+    def degraded_mode(self) -> bool:
+        """True when aggregation rounds may cover a strict subset of the
+        cluster — under an active fault plan or with health quarantine
+        enabled. With both idle every round still covers all N workers, so
+        degraded-mode accounting is byte-identical to the plain path."""
+        return self.faults.active or self.health is not None
+
     def max_compute_time(
         self,
         batch_size: int,
@@ -160,8 +179,11 @@ class DistributedTrainer:
             )
             times = times * factors
         full_times = times
+        # Keep the full round's per-worker times around: the health
+        # tracker's straggle signal (pure observation, no RNG effect).
+        self._last_compute_times = full_times
         if (
-            self.faults.active
+            self.degraded_mode
             and step is not None
             and live is not None
             and len(live) < len(self.workers)
@@ -194,13 +216,15 @@ class DistributedTrainer:
         """Open step ``i`` under the fault plan.
 
         Records crash/rejoin/straggle transitions as typed RunLog records,
-        restores rejoining workers from the latest checkpoint, and raises
+        restores rejoining workers from the latest checkpoint, reinstates
+        workers whose quarantine probation has elapsed, filters
+        still-quarantined workers out of the live set, and raises
         :class:`QuorumLostError` if fewer live workers remain than the
-        configured quorum. A no-op returning the full live set when fault
-        injection is disabled.
+        configured quorum. A no-op returning the full live set when both
+        fault injection and health tracking are disabled.
         """
         sf = self.faults.begin_step(i)
-        if not self.faults.active:
+        if not self.faults.active and self.health is None:
             self._current_live = None
             return sf
         for c in self.faults.plan.crashes:
@@ -228,12 +252,109 @@ class DistributedTrainer:
                         },
                     )
                 )
+        if self.health is not None:
+            for wid in self.health.due_reinstatements(i):
+                self._reinstate_worker(wid, i, sf.live)
+            quarantined = set(self.health.quarantined_workers)
+            if quarantined:
+                sf.live = [w for w in sf.live if w not in quarantined]
         self._current_live = sf.live
         self.check_quorum(len(sf.live), i)
         return sf
 
+    def _reinstate_worker(self, wid: int, step: int, live: Sequence[int]) -> None:
+        """Probation elapsed: restore the worker from the current consensus
+        model (mean of the non-quarantined live replicas — the server's
+        globals are stale for non-PA trainers) with fresh optimizer state,
+        and lift its quarantine."""
+        self.health.release(wid)
+        w = self.workers[wid]
+        donors = [
+            j
+            for j in live
+            if j != wid and not self.health.quarantined(j)
+        ]
+        if donors:
+            w.set_params(
+                np.mean(
+                    np.stack([self.workers[j].get_params() for j in donors]),
+                    axis=0,
+                )
+            )
+        w.optimizer.reset_state()
+        self._on_worker_rejoin(wid, False)
+        self._record_fault(
+            FaultRecord(step=step, worker=wid, kind="reinstate", detail={})
+        )
+        tr = obs.active()
+        if tr is not None:
+            tr.emit("reinstate", step=step, worker=wid)
+
+    def screen_updates(
+        self,
+        step: int,
+        candidates: Sequence[int],
+        observed: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Health-screen this round's contributing workers.
+
+        Feeds each observed worker's update norm (NaN for a poisoned
+        gradient) and simulated compute time to the
+        :class:`HealthTracker`; newly flagged workers are quarantined —
+        recorded as typed RunLog faults plus ``quarantine`` trace events —
+        and excluded from the returned contributing set. ``observed``
+        widens the scored set beyond the contributors (a NaN-poisoned
+        worker already fell out of ``candidates`` but must still collect
+        its strike). Identity when health tracking is disabled.
+        """
+        if self.health is None:
+            return list(candidates)
+        observed = candidates if observed is None else observed
+        norms: Dict[int, float] = {}
+        for wid in observed:
+            sq = float(self.workers[wid].last_grad_sqnorm)
+            norms[wid] = float(np.sqrt(sq)) if sq >= 0.0 else float("nan")
+        times: Optional[Dict[int, float]] = None
+        if self._last_compute_times is not None:
+            times = {
+                wid: float(self._last_compute_times[wid]) for wid in observed
+            }
+        flagged = self.health.observe(step, norms, times)
+        if not flagged:
+            return list(candidates)
+        tr = obs.active()
+        for d in flagged:
+            self._record_fault(
+                FaultRecord(
+                    step=step,
+                    worker=d.worker,
+                    kind="quarantine",
+                    detail={
+                        "reason": d.reason,
+                        "score": float(d.score),
+                        "until": d.until,
+                    },
+                )
+            )
+            if tr is not None:
+                tr.emit(
+                    "quarantine",
+                    step=step,
+                    worker=d.worker,
+                    reason=d.reason,
+                    score=float(d.score),
+                    until=d.until,
+                )
+        bad = {d.worker for d in flagged}
+        return [w for w in candidates if w not in bad]
+
     def check_quorum(self, n_contributing: int, step: int) -> None:
-        """Raise loudly when fewer than ``quorum`` workers can contribute."""
+        """Raise loudly when fewer than ``quorum`` workers can contribute.
+
+        The raised :class:`QuorumLostError` carries ``step`` /
+        ``contributing`` / ``quorum`` so the recovery supervisor can relax
+        the quorum to the surviving count before retrying.
+        """
         if n_contributing >= self.quorum:
             return
         self._record_fault(
@@ -244,20 +365,35 @@ class DistributedTrainer:
                 detail={"contributing": n_contributing, "quorum": self.quorum},
             )
         )
-        raise QuorumLostError(
+        err = QuorumLostError(
             f"step {step}: only {n_contributing} worker(s) can contribute "
             f"but min_quorum={self.quorum}; refusing to aggregate a "
             "partial mean"
         )
+        err.step = step
+        err.contributing = n_contributing
+        err.quorum = self.quorum
+        raise err
 
     def apply_corruption(self, sf: StepFaults) -> List[int]:
         """Poison the gradients of this step's corrupt-targeted workers.
 
         Returns the contributing subset of ``sf.live`` — live workers whose
-        gradient survived. A poisoned worker's ``last_grad_sqnorm`` is
-        NaN'd so no tracker can silently smooth it.
+        gradient survived. A NaN-poisoned worker's ``last_grad_sqnorm`` is
+        NaN'd so no tracker can silently smooth it, and it drops out of the
+        contributing set.
+
+        An *adversarially* corrupted worker is a Byzantine liar, not a sick
+        node: its local replica and gradient stay honest, but whatever it
+        puts on the wire this step — the vector a trainer later routes
+        through :meth:`wire_updates`, and the ``last_grad_sqnorm`` any
+        tracker or health screen reads — is a finite hostile fabrication.
+        It stays in the contributing set (it looks healthy to every
+        finiteness check); only robust aggregation or health screening can
+        defuse it.
         """
-        if not sf.corrupted:
+        self._wire_lies = {}
+        if not sf.corrupted and not sf.adversarial:
             return list(sf.live)
         for wid in sf.corrupted:
             w = self.workers[wid]
@@ -268,8 +404,41 @@ class DistributedTrainer:
             self._record_fault(
                 FaultRecord(step=sf.step, worker=wid, kind="corrupt", detail={})
             )
+        for wid in sf.adversarial:
+            w = self.workers[wid]
+            hostile = self.faults.adversarial_gradient(
+                wid, sf.step, w.get_grads(copy=False)
+            )
+            self._wire_lies[wid] = hostile
+            # The lie extends to the reported norm: Δ trackers and the
+            # health screen see the hostile magnitude, which is exactly
+            # the signal quarantine keys on.
+            w.last_grad_sqnorm = float(np.dot(hostile, hostile))
+            self._record_fault(
+                FaultRecord(
+                    step=sf.step,
+                    worker=wid,
+                    kind="corrupt",
+                    detail={"adversarial": 1},
+                )
+            )
         corrupted = set(sf.corrupted)
         return [wid for wid in sf.live if wid not in corrupted]
+
+    def wire_updates(
+        self, wids: Sequence[int], vectors: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Apply this step's Byzantine lies at the wire.
+
+        ``vectors[j]`` is what worker ``wids[j]`` is about to push
+        (gradient, parameters, or elastic difference — a liar sends
+        garbage regardless of protocol phase); adversarially corrupted
+        workers' entries are replaced with the hostile vector fabricated
+        in :meth:`apply_corruption`. Identity when no lies are active.
+        """
+        if not self._wire_lies:
+            return list(vectors)
+        return [self._wire_lies.get(wid, v) for wid, v in zip(wids, vectors)]
 
     def upload_penalty(
         self, uploaders: Sequence[int], step: int
@@ -355,22 +524,42 @@ class DistributedTrainer:
 
     # -- parameter views --------------------------------------------------
     def mean_params(self) -> np.ndarray:
-        """Mean of the (live) worker replicas — the deployable parameters.
+        """Aggregate of the (live) worker replicas — the deployable params.
 
-        Under an active fault plan the mean covers the current live subset
-        only; a crashed worker's stale replica must not drag the serving
-        model backwards.
+        Under an active fault plan or health quarantine the aggregate
+        covers the current live, non-quarantined subset only; a crashed or
+        quarantined worker's stale replica must not drag the serving model
+        backwards. With a robust aggregator configured, deployment uses
+        the same strategy as training rounds.
         """
         workers = (
             self.workers
             if self._current_live is None
             else [self.workers[w] for w in self._current_live]
         )
+        if self.aggregator is not None:
+            return np.array(
+                self.aggregator.reduce(
+                    [w.get_params(copy=False) for w in workers], where="deploy"
+                ),
+                copy=True,
+            )
         if fastpath.is_enabled():
             # Arena views in, fresh vector out — bitwise-identical to the
             # stack reduce (see mean_into's contract).
             return mean_into([w.get_params(copy=False) for w in workers])
         return np.mean(np.stack([w.get_params() for w in workers]), axis=0)
+
+    def resync_replicas(self) -> None:
+        """Force every worker replica back to the deployable aggregate —
+        the divergence-recovery reset the supervisor applies after rolling
+        back to a checkpoint (replicas legitimately drift apart in GA /
+        local-SGD regimes; a rollback restores them mid-drift, and resync
+        collapses the spread so the retry starts from consensus)."""
+        consensus = np.array(self.mean_params(), dtype=np.float64, copy=True)
+        for w in self.workers:
+            w.set_params(consensus)
+            w.optimizer.reset_state()
 
     def deploy_model(self):
         """Model carrying the deployable parameters (worker average).
@@ -405,13 +594,18 @@ class DistributedTrainer:
         """Snapshot of everything that evolves during training: server,
         every worker's rank state, the jitter RNG, traffic counters, and
         trainer-specific extras."""
-        return {
+        state = {
             "server": self.server.state_dict(),
             "workers": [w.state_dict() for w in self.workers],
             "compute_rng": self.compute.rng.bit_generator.state,
             "group": self.group.state_dict(),
             "extra": self._extra_state(),
         }
+        # Only present when health tracking is on — keeps health-off
+        # checkpoints byte-identical to builds without the subsystem.
+        if self.health is not None:
+            state["health"] = self.health.state_dict()
+        return state
 
     def load_state_dict(self, state: Dict) -> None:
         if len(state["workers"]) != len(self.workers):
@@ -424,6 +618,8 @@ class DistributedTrainer:
             w.load_state_dict(ws)
         self.compute.rng.bit_generator.state = state["compute_rng"]
         self.group.load_state_dict(state["group"])
+        if self.health is not None and "health" in state:
+            self.health.load_state_dict(state["health"])
         self._load_extra_state(state.get("extra", {}))
 
     def _write_checkpoint(
@@ -504,6 +700,8 @@ class DistributedTrainer:
                             grad_change=rec.grad_change,
                             extra=dict(rec.extra),
                         )
+                    if cfg.step_monitor is not None:
+                        cfg.step_monitor(self, i)
                     last = i == cfg.n_steps - 1
                     if cfg.eval_fn is not None and ((i + 1) % cfg.eval_every == 0 or last):
                         metric = self.evaluate(cfg)

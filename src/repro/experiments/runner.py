@@ -72,6 +72,7 @@ def run_method(
     resume_from: Optional[str] = None,
     stop_after: Optional[int] = None,
     tracer=None,
+    supervisor=None,
 ) -> TrainResult:
     """Run one method on an already-built workload (workers are consumed:
     rebuild the workload for the next method so everyone starts fresh).
@@ -79,6 +80,10 @@ def run_method(
     ``tracer`` (a :class:`repro.obs.Tracer`) is installed for the run and
     receives the reproducibility manifest as its metadata; the caller owns
     its lifecycle (``close()`` flushes the JSONL sink).
+
+    ``supervisor`` (a :class:`repro.core.recovery.RecoverySupervisor`)
+    wraps the run with rollback-and-retry on quorum loss / divergence;
+    ``None`` runs the trainer directly.
     """
     trainer = build_trainer(spec, built)
     manifest = _manifest(spec, built, n_steps)
@@ -99,7 +104,10 @@ def run_method(
         tracer=tracer,
     )
     try:
-        result = trainer.run(cfg)
+        if supervisor is not None:
+            result = supervisor.run(trainer, cfg)
+        else:
+            result = trainer.run(cfg)
     finally:
         # The trainer is dropped on return; release backend resources
         # (thread pools, forked worker processes + shared segments) now

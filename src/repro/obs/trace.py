@@ -54,6 +54,9 @@ EVENT_TYPES = (
     "fault",            # injected/observed fault (crash/rejoin/straggle/...)
     "checkpoint_save",  # trainer state snapshot written
     "eval",             # periodic evaluation of the deployable model
+    "aggregator_decision",  # robust aggregation: inputs kept/dropped + info
+    "quarantine",       # health tracker flagged a worker (reason/score)
+    "reinstate",        # quarantined worker restored after probation
 )
 
 #: Aggregation kinds carried by ``aggregation`` events.
@@ -201,6 +204,13 @@ class Tracer:
             m.inc("checkpoint.saves")
         elif ev.etype == "eval":
             m.set("eval.last_metric", float(d.get("metric", float("nan"))))
+        elif ev.etype == "aggregator_decision":
+            m.inc("robust.rounds")
+            m.inc("robust.dropped", float(d.get("n_dropped", 0) or 0))
+        elif ev.etype == "quarantine":
+            m.inc("health.quarantines")
+        elif ev.etype == "reinstate":
+            m.inc("health.reinstatements")
 
     # -- access / persistence ---------------------------------------------
     @property

@@ -64,8 +64,20 @@ class EvalRecord:
     metric_name: str = "accuracy"
 
 
-#: Known fault-record kinds (see :mod:`repro.cluster.faults`).
-FAULT_KINDS = ("crash", "rejoin", "straggle", "drop", "corrupt", "quorum_lost")
+#: Known fault-record kinds (see :mod:`repro.cluster.faults` for the
+#: injected ones; ``quarantine``/``reinstate`` come from the health
+#: tracker and ``recovery`` from the rollback supervisor).
+FAULT_KINDS = (
+    "crash",
+    "rejoin",
+    "straggle",
+    "drop",
+    "corrupt",
+    "quorum_lost",
+    "quarantine",
+    "reinstate",
+    "recovery",
+)
 
 
 @dataclass
