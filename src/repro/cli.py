@@ -86,6 +86,28 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         "(see repro.cluster.faults)",
     )
     p.add_argument(
+        "--topology", default="ps", choices=["ps", "ring", "tree"],
+        help="collective topology the cost model charges (ps is the "
+        "paper's testbed)",
+    )
+    p.add_argument(
+        "--net-faults", default=None, metavar="SPEC",
+        help="inject link-level network faults, e.g. "
+        "'partition:{w0,w1|w2..w7}@100-200,loss:p=0.02,"
+        "flap:link(2,5)x3@50+' (see repro.cluster.faults); empty/unset "
+        "keeps the run byte-identical to a fault-free build",
+    )
+    p.add_argument(
+        "--retry-max", type=int, default=4, metavar="N",
+        help="max retransmits per enveloped message before "
+        "CollectiveTimeoutError / degraded round (with --net-faults)",
+    )
+    p.add_argument(
+        "--retry-base-ms", type=float, default=25.0, metavar="MS",
+        help="base backoff before the first retransmit; doubles per "
+        "attempt up to the cap (with --net-faults)",
+    )
+    p.add_argument(
         "--min-quorum", type=int, default=None,
         help="min workers per aggregation round before QuorumLostError "
         "(default: all workers; 1 with --health)",
@@ -160,6 +182,12 @@ def _build(args, spec: MethodSpec):
             "executor_threads": args.executor_threads,
             "executor_procs": getattr(args, "procs", None),
             "fault_spec": getattr(args, "fault_spec", None),
+            "topology": getattr(args, "topology", "ps"),
+            # argparse hyphens become underscores; '' means "no net faults"
+            # and must behave exactly like unset (byte-identity contract).
+            "net_fault_spec": getattr(args, "net_faults", None) or None,
+            "retry_max": getattr(args, "retry_max", 4),
+            "retry_base_ms": getattr(args, "retry_base_ms", 25.0),
             "min_quorum": getattr(args, "min_quorum", None),
             "aggregator": getattr(args, "aggregator", "mean"),
             "trim_f": getattr(args, "trim_f", 1),

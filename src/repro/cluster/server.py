@@ -49,6 +49,12 @@ class ParameterServer:
         #: Optional robust :class:`~repro.core.robust.Aggregator`; ``None``
         #: keeps the exact legacy mean path (byte-identity contract).
         self.aggregator = aggregator
+        #: Full-cluster contributor count, set by the trainer. When a round
+        #: aggregates fewer vectors (crash, quarantine, partition, lost
+        #: upload), ``degraded_rounds`` ticks — the PS-side ledger of how
+        #: often the model moved on partial information.
+        self.expected_contributors: Optional[int] = None
+        self.degraded_rounds: int = 0
 
     @property
     def n_params(self) -> int:
@@ -131,6 +137,11 @@ class ParameterServer:
     def _check(self, vectors: Sequence[np.ndarray]) -> None:
         if len(vectors) == 0:
             raise ValueError("nothing to aggregate")
+        if (
+            self.expected_contributors is not None
+            and len(vectors) < self.expected_contributors
+        ):
+            self.degraded_rounds += 1
         for v in vectors:
             if v.shape != self._params.shape:
                 raise ValueError(
@@ -150,7 +161,12 @@ class ParameterServer:
 
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> dict:
-        return {"params": self._params.copy(), "version": self.version}
+        state = {"params": self._params.copy(), "version": self.version}
+        # Key present only once a degraded round happened, so fault-free
+        # checkpoints stay byte-identical to builds without the counter.
+        if self.degraded_rounds:
+            state["degraded_rounds"] = self.degraded_rounds
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         params = np.asarray(state["params"], dtype=np.float64)
@@ -162,3 +178,4 @@ class ParameterServer:
         self._params = params.copy()
         self._agg = None
         self.version = int(state["version"])
+        self.degraded_rounds = int(state.get("degraded_rounds", 0))

@@ -158,6 +158,18 @@ class SimWorker:
     def set_params(self, vec: np.ndarray) -> None:
         self.model.set_flat_params(vec)
 
+    def resync(self, params: np.ndarray) -> None:
+        """Rebase this replica onto ``params`` with fresh optimizer state.
+
+        The shared re-entry path for every "worker comes back" transition
+        — quarantine reinstatement, crash rejoin without a checkpoint, and
+        a healed network partition: whatever momentum/EWMA the optimizer
+        accumulated refers to a trajectory the cluster has moved past, so
+        it is dropped along with the stale parameters.
+        """
+        self.set_params(params)
+        self.optimizer.reset_state()
+
     def get_grads(self, copy: bool = False) -> np.ndarray:
         """Flat gradient vector — read-only live view by default (gradients
         are consumed immediately after compute, before the next backward)."""

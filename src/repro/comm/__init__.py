@@ -6,15 +6,24 @@ take on the paper's testbed (5 Gbps NIC, PS topology) comes from an explicit
 cost model, so speedups are ratios of modelled wall-clock.
 """
 
-from repro.comm.network import NetworkModel
+from repro.comm.network import LinkFaultModel, NetworkModel, make_link_faults
 from repro.comm.costmodel import (
     allgather_bits_time,
+    chain_allreduce_time,
     p2p_time,
     ps_sync_time,
     ring_allreduce_time,
     tree_allreduce_time,
+    tree_reparent_time,
+)
+from repro.comm.envelope import (
+    CollectiveTimeoutError,
+    CommEnvelope,
+    RetryPolicy,
+    SendOutcome,
 )
 from repro.comm.topology import (
+    HealedSync,
     PSTopology,
     RingTopology,
     Topology,
@@ -25,6 +34,7 @@ from repro.comm.collectives import SimGroup
 from repro.comm.scheduling import (
     bucketed_schedule,
     compare_schedules,
+    expected_attempts,
     fused_schedule,
     layer_sizes_bytes,
     per_layer_schedule,
@@ -32,18 +42,28 @@ from repro.comm.scheduling import (
 
 __all__ = [
     "NetworkModel",
+    "LinkFaultModel",
+    "make_link_faults",
     "ps_sync_time",
     "ring_allreduce_time",
     "tree_allreduce_time",
+    "chain_allreduce_time",
+    "tree_reparent_time",
     "allgather_bits_time",
     "p2p_time",
+    "CollectiveTimeoutError",
+    "CommEnvelope",
+    "RetryPolicy",
+    "SendOutcome",
     "Topology",
+    "HealedSync",
     "PSTopology",
     "RingTopology",
     "TreeTopology",
     "build_topology",
     "SimGroup",
     "layer_sizes_bytes",
+    "expected_attempts",
     "fused_schedule",
     "per_layer_schedule",
     "bucketed_schedule",

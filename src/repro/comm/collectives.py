@@ -15,7 +15,8 @@ import numpy as np
 
 from repro import obs
 from repro.comm.costmodel import allgather_bits_time, p2p_time
-from repro.comm.network import NetworkModel
+from repro.comm.envelope import CollectiveTimeoutError, CommEnvelope, RetryPolicy
+from repro.comm.network import LinkFaultModel, NetworkModel
 from repro.comm.topology import Topology, build_topology
 from repro.utils import fastpath
 from repro.utils.flatten import mean_into
@@ -32,6 +33,16 @@ class SimGroup:
         Link parameters used for timing.
     topology:
         Name or instance; decides the full-model sync cost formula.
+    link_faults:
+        Optional :class:`~repro.comm.network.LinkFaultModel`. ``None`` (the
+        default) disables the resilient-collectives layer entirely — every
+        op takes the original single-shot path and runs are bitwise
+        identical to builds without it. When set, each collective routes
+        around dead links (ring→chain, tree re-parenting, PS fallback) and
+        wraps its messages in a retrying :class:`CommEnvelope`; a link the
+        schedule cannot route around raises :class:`CollectiveTimeoutError`.
+    retry_policy:
+        Envelope retry/backoff schedule; only consulted with link faults.
     """
 
     def __init__(
@@ -40,6 +51,8 @@ class SimGroup:
         net: NetworkModel = None,
         topology="ps",
         aggregator=None,
+        link_faults: Optional[LinkFaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -54,12 +67,135 @@ class SimGroup:
         #: byte accounting are strategy-independent — a robust round moves
         #: the same payload over the same links.
         self.aggregator = aggregator
+        self.link_faults = link_faults
+        self.envelope: Optional[CommEnvelope] = (
+            None if link_faults is None
+            else CommEnvelope(link_faults, retry_policy or RetryPolicy())
+        )
         # Byte/op counters so experiments can report communication volume.
         self.bytes_synced: int = 0
         self.n_syncs: int = 0
         self.n_allgathers: int = 0
+        # Resilience counters (only move when link faults are active).
+        self.n_reroutes: int = 0
+        self.retry_wait_s: float = 0.0
+        # Current training step (fed by the trainer via begin_step) — the
+        # key every link-fault draw is salted with.
+        self._step: int = 0
+        self._partition_active: bool = False
+        # Dedup link_fault events to one per (link, step).
+        self._faulted_links: set = set()
         # Reusable allreduce output (fast path); sized on first use.
         self._mean_buf: Optional[np.ndarray] = None
+
+    # -- step context ------------------------------------------------------
+    def begin_step(self, step: int) -> None:
+        """Install the step every subsequent link-fault draw is keyed on.
+
+        Collectives always run on the coordinator thread, so this is safe
+        under every executor backend. Also detects partition onset/healing
+        transitions and emits ``partition_detected`` events.
+        """
+        self._step = int(step)
+        if self.link_faults is None:
+            return
+        self._faulted_links = set()
+        part = self.link_faults.partition_at(step)
+        if part is not None and not self._partition_active:
+            self._partition_active = True
+            tr = obs.active()
+            if tr is not None:
+                tr.emit(
+                    "partition_detected",
+                    step=step,
+                    groups=[list(g) for g in part.groups],
+                    majority=list(self.link_faults.majority_side(step)),
+                    until=part.end,
+                )
+        elif part is None and self._partition_active:
+            self._partition_active = False
+
+    # -- resilient envelope ------------------------------------------------
+    def _record_link_fault(self, src: int, dst: int, kind: str) -> None:
+        key = (min(src, dst), max(src, dst))
+        if key in self._faulted_links:
+            return
+        self._faulted_links.add(key)
+        tr = obs.active()
+        if tr is not None:
+            tr.emit(
+                "link_fault", step=self._step,
+                src=key[0], dst=key[1], kind=kind,
+            )
+
+    def _enveloped_edges(
+        self, edges, op: str, transfer_s: float, must_deliver: bool
+    ) -> float:
+        """Push one enveloped message across each schedule edge.
+
+        Returns the summed retry latency (timeouts + backoffs + duplicate
+        retransfers) to charge on top of the healed cost-model time. A
+        terminal loss raises :class:`CollectiveTimeoutError` when
+        ``must_deliver`` (ring/tree schedules cannot tolerate a hole).
+        """
+        env = self.envelope
+        lf = self.link_faults
+        extra = 0.0
+        for (src, dst) in edges:
+            out = env.send(src, dst, self._step, transfer_s)
+            if out.attempts > 1 or not out.delivered:
+                kind = "down" if lf.link_down(src, dst, self._step) else "loss"
+                self._record_link_fault(src, dst, kind)
+                tr = obs.active()
+                if tr is not None:
+                    tr.emit(
+                        "retry", step=self._step, src=src, dst=dst,
+                        op=op, attempts=out.attempts, wait_s=out.wait_s,
+                        delivered=out.delivered,
+                    )
+            extra += out.wait_s + out.dup_extra_s
+            self.retry_wait_s += out.wait_s
+            if not out.delivered and must_deliver:
+                raise CollectiveTimeoutError(
+                    op, src, dst, self._step, out.attempts
+                )
+        return extra
+
+    def _resilient_sync(self, op: str, payload: float, ranks: int, rank_ids) -> float:
+        """Healed + enveloped time for one full-model sync round.
+
+        Only reached when link faults are active. Reroutes the schedule
+        around dead links (emitting ``reroute``), then charges per-message
+        retries over the healed edges. PS schedules skip the per-edge
+        envelope here — their uplinks are simulated per worker in the
+        trainer's upload path, where a lost push degrades one worker
+        instead of the whole round.
+        """
+        ids = list(range(ranks)) if rank_ids is None else sorted(rank_ids)
+        healed = self.topology.healed_sync_time(
+            payload, ids, self.n_workers, self.net, self.link_faults, self._step
+        )
+        if healed.mode != "normal":
+            self.n_reroutes += 1
+            tr = obs.active()
+            if tr is not None:
+                tr.emit(
+                    "reroute", step=self._step, op=op,
+                    topology=self.topology.name, mode=healed.mode,
+                    detail=healed.detail, n_dead=healed.n_dead,
+                )
+        t = healed.seconds
+        if self.topology.name != "ps" and healed.mode != "ps_fallback":
+            # Full payload crosses each healed hop (chain/tree hop cost);
+            # the normal ring's per-hop share is payload/k but retries there
+            # retransmit the full segment stream, so charge conservatively.
+            per_hop = self.net.latency_s + 8.0 * payload / (
+                self.net.effective_worker_bandwidth()
+            )
+            t += self._enveloped_edges(
+                healed.edges, op, per_hop, must_deliver=True
+            )
+        return t
 
     # -- full-model synchronization ---------------------------------------
     def allreduce_mean(
@@ -67,6 +203,7 @@ class SimGroup:
         vectors: Sequence[np.ndarray],
         nbytes: float = None,
         n_live: Optional[int] = None,
+        rank_ids: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, float]:
         """Average one flat vector per rank; returns (mean, sim_seconds).
 
@@ -79,6 +216,10 @@ class SimGroup:
         ``n_live`` ranks. Without it a short vector list is an error —
         silently averaging fewer replicas than the group has is exactly
         the wrong-answer mode the fault model exists to make loud.
+
+        ``rank_ids`` names the actual participating worker ids (so the
+        link-fault layer can route around the links those ranks use);
+        ignored without link faults, where only the count matters.
         """
         expected = self.n_workers if n_live is None else int(n_live)
         if n_live is not None and not 1 <= expected <= self.n_workers:
@@ -110,32 +251,93 @@ class SimGroup:
         else:
             mean = np.mean(np.stack([np.asarray(v) for v in vectors]), axis=0)
         payload = float(first.nbytes if nbytes is None else nbytes)
-        t = self.topology.sync_time(payload, expected, self.net)
+        if self.envelope is None:
+            t = self.topology.sync_time(payload, expected, self.net)
+        else:
+            t = self._resilient_sync("allreduce", payload, expected, rank_ids)
         counted = int(payload) * expected
         self.bytes_synced += counted
         self.n_syncs += 1
         self._trace("allreduce", payload, counted, expected, t)
         return mean, t
 
-    def charge_sync(self, nbytes: float, n_live: Optional[int] = None) -> float:
+    def charge_sync(
+        self,
+        nbytes: float,
+        n_live: Optional[int] = None,
+        rank_ids: Optional[Sequence[int]] = None,
+    ) -> float:
         """Account one full-model sync round and return its simulated time.
 
         For callers that perform the aggregation arithmetic elsewhere (e.g.
         through the :class:`~repro.cluster.server.ParameterServer`) and only
         need the clock charged once. ``n_live`` charges a degraded round
-        over a survivor subset instead of the full group.
+        over a survivor subset instead of the full group; ``rank_ids``
+        identifies the survivors for the link-fault layer.
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         ranks = self.n_workers if n_live is None else int(n_live)
         if not 1 <= ranks <= self.n_workers:
             raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
-        t = self.topology.sync_time(float(nbytes), ranks, self.net)
+        if self.envelope is None:
+            t = self.topology.sync_time(float(nbytes), ranks, self.net)
+        else:
+            t = self._resilient_sync("sync", float(nbytes), ranks, rank_ids)
         counted = int(nbytes) * ranks
         self.bytes_synced += counted
         self.n_syncs += 1
         self._trace("sync", float(nbytes), counted, ranks, t)
         return t
+
+    def sync_time_only(
+        self,
+        nbytes: float,
+        n_live: Optional[int] = None,
+        rank_ids: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Healed sync time *without* byte accounting or a trace event.
+
+        For trainers (FedAvg) that charge their round's clock against a
+        different topology/ledger but still need link faults respected.
+        Identical to ``topology.sync_time`` when link faults are off.
+        """
+        ranks = self.n_workers if n_live is None else int(n_live)
+        if not 1 <= ranks <= self.n_workers:
+            raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
+        if self.envelope is None:
+            return self.topology.sync_time(float(nbytes), ranks, self.net)
+        return self._resilient_sync("sync", float(nbytes), ranks, rank_ids)
+
+    def push_outcome(self, worker: int, nbytes: float) -> Tuple[float, bool]:
+        """Simulate one worker's PS uplink push through the envelope.
+
+        Returns ``(extra_seconds, delivered)``. Only meaningful with link
+        faults active (returns ``(0.0, True)`` otherwise). A terminal loss
+        does NOT raise here: the PS schedule tolerates holes, so the
+        trainer degrades by dropping that worker from the round — the same
+        path worker-level drop faults take.
+        """
+        if self.envelope is None:
+            return 0.0, True
+        lf = self.link_faults
+        transfer_s = self.net.latency_s + 8.0 * float(nbytes) / self.net.bandwidth_bps
+        out = self.envelope.send(worker, lf.ps_rank, self._step, transfer_s)
+        if out.attempts > 1 or not out.delivered:
+            kind = (
+                "down" if lf.link_down(worker, lf.ps_rank, self._step) else "loss"
+            )
+            self._record_link_fault(worker, lf.ps_rank, kind)
+            tr = obs.active()
+            if tr is not None:
+                tr.emit(
+                    "retry", step=self._step, worker=worker,
+                    src=worker, dst=lf.ps_rank, op="push",
+                    attempts=out.attempts, wait_s=out.wait_s,
+                    delivered=out.delivered,
+                )
+        self.retry_wait_s += out.wait_s
+        return out.wait_s + out.dup_extra_s, out.delivered
 
     # -- SelSync's flag exchange ------------------------------------------
     def allgather_flags(self, flags: Sequence[int]) -> Tuple[np.ndarray, float]:
@@ -193,14 +395,32 @@ class SimGroup:
 
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> dict:
-        """Traffic counters (the only mutable state besides scratch)."""
-        return {
+        """Traffic counters (the only mutable state besides scratch).
+
+        The ``net`` key exists only while the resilient layer is active so
+        fault-free checkpoints stay byte-identical to builds without it.
+        """
+        state = {
             "bytes_synced": self.bytes_synced,
             "n_syncs": self.n_syncs,
             "n_allgathers": self.n_allgathers,
         }
+        if self.envelope is not None:
+            state["net"] = {
+                "envelope": self.envelope.state_dict(),
+                "n_reroutes": self.n_reroutes,
+                "retry_wait_s": self.retry_wait_s,
+                "partition_active": self._partition_active,
+            }
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         self.bytes_synced = int(state["bytes_synced"])
         self.n_syncs = int(state["n_syncs"])
         self.n_allgathers = int(state["n_allgathers"])
+        if self.envelope is not None and "net" in state:
+            net = state["net"]
+            self.envelope.load_state_dict(net["envelope"])
+            self.n_reroutes = int(net["n_reroutes"])
+            self.retry_wait_s = float(net["retry_wait_s"])
+            self._partition_active = bool(net["partition_active"])

@@ -71,6 +71,46 @@ def tree_allreduce_time(nbytes: float, n_workers: int, net: NetworkModel) -> flo
     return hops * (net.latency_s + bits / bw)
 
 
+def chain_allreduce_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
+    """Ring allreduce rerouted around one dead link: the ring becomes a
+    chain (open ring).
+
+    Without the wrap-around link the reduce-scatter/allgather pipeline
+    cannot overlap both directions, so each phase degenerates to passing
+    the *full* payload down the chain: 2(N−1) hops carrying ``nbytes``
+    each instead of ``nbytes/N``. That is exactly the bandwidth penalty of
+    losing ring parallelism — the healed ring is correct but ~N× more
+    expensive in the bandwidth term, which is what makes a reroute visible
+    in the timing ledger rather than cosmetically free.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return 0.0
+    bits = 8.0 * nbytes
+    bw = net.effective_worker_bandwidth()
+    return 2.0 * (n_workers - 1) * (net.latency_s + bits / bw)
+
+
+def tree_reparent_time(
+    nbytes: float, n_workers: int, net: NetworkModel, n_dead_links: int
+) -> float:
+    """Tree allreduce with ``n_dead_links`` parent links rerouted.
+
+    Each orphaned subtree re-parents to its grandparent (or a sibling),
+    adding one extra full-payload hop per dead link on both the reduce and
+    the broadcast sweep: ``tree_allreduce_time + 2·d·(α + bits/bw)``.
+    """
+    if n_dead_links < 0:
+        raise ValueError(f"n_dead_links must be >= 0, got {n_dead_links}")
+    base = tree_allreduce_time(nbytes, n_workers, net)
+    if n_workers <= 1 or n_dead_links == 0:
+        return base
+    bits = 8.0 * nbytes
+    bw = net.effective_worker_bandwidth()
+    return base + 2.0 * n_dead_links * (net.latency_s + bits / bw)
+
+
 def allgather_bits_time(n_workers: int, net: NetworkModel) -> float:
     """SelSync's 1-bit-per-worker flag allgather (Alg. 1 line 12).
 

@@ -1,13 +1,14 @@
-"""Network model: link bandwidths, latency and heterogeneity."""
+"""Network model: link bandwidths, latency, heterogeneity and link faults."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.cluster.faults import NetFaultPlan, PartitionFault, parse_net_fault_spec
 
 
 @dataclass
@@ -75,3 +76,162 @@ class NetworkModel:
             tr.metrics.inc("net.transfers")
             tr.metrics.inc("net.seconds", t)
         return t
+
+
+class LinkFaultModel:
+    """Deterministic link-level fault oracle for the simulated fabric.
+
+    Wraps a :class:`~repro.cluster.faults.NetFaultPlan` and answers, for any
+    ``(src, dst, step)`` triple, whether the link is administratively down
+    (partition/flap), how much per-attempt loss and duplication probability
+    applies, and by what factor transfers are slowed. Every stochastic draw
+    is keyed on ``(seed, src, dst, step, attempt)`` through its own
+    :class:`numpy.random.SeedSequence` stream — never the trainer RNGs — so
+    outcomes are identical across serial/threaded/process executors and
+    independent of call order. The parameter server is addressed as the
+    pseudo-rank ``n_workers`` so PS links share the same keying scheme.
+    """
+
+    #: Salt namespaces for the keyed streams (distinct per draw purpose so
+    #: loss and dup draws on the same message are independent).
+    _SALT_LOSS = 101
+    _SALT_DUP = 102
+    _SALT_JITTER = 103
+
+    def __init__(self, plan: NetFaultPlan, n_workers: int, seed: int = 0):
+        plan.validate(n_workers)
+        self.plan = plan
+        self.n_workers = int(n_workers)
+        self.seed = int(seed)
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.empty
+
+    @property
+    def ps_rank(self) -> int:
+        """Pseudo-rank used to key PS↔worker links."""
+        return self.n_workers
+
+    def _rng(self, src: int, dst: int, step: int, salt: int, attempt: int = 0):
+        a, b = (src, dst) if src <= dst else (dst, src)
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, a, b, step, salt, attempt])
+        )
+
+    # -- administrative link state -------------------------------------
+
+    def partition_at(self, step: int) -> Optional[PartitionFault]:
+        """The partition clause covering ``step``, if any (first wins)."""
+        for p in self.plan.partitions:
+            if p.covers(step):
+                return p
+        return None
+
+    def majority_side(self, step: int) -> Optional[Tuple[int, ...]]:
+        """Worker ids on the majority side of the active partition (with
+        unnamed workers riding along), or ``None`` when unpartitioned."""
+        p = self.partition_at(step)
+        if p is None:
+            return None
+        maj = p.majority_index()
+        side = [
+            w for w in range(self.n_workers)
+            if (p.side_of(w) if p.side_of(w) is not None else maj) == maj
+        ]
+        return tuple(side)
+
+    def link_down(self, a: int, b: int, step: int) -> bool:
+        """Is the undirected link (a, b) administratively down at ``step``?
+
+        True while a partition severs the pair or a flap clause is in its
+        down half-period. The PS pseudo-rank is treated as a member of the
+        partition's majority side (the PS sits with the majority).
+        """
+        p = self.partition_at(step)
+        if p is not None:
+            maj = p.majority_index()
+            sa = maj if a == self.ps_rank else (
+                p.side_of(a) if p.side_of(a) is not None else maj
+            )
+            sb = maj if b == self.ps_rank else (
+                p.side_of(b) if p.side_of(b) is not None else maj
+            )
+            if sa != sb:
+                return True
+        lo, hi = (a, b) if a <= b else (b, a)
+        for f in self.plan.flaps:
+            if (f.a, f.b) == (lo, hi) and f.is_down(step):
+                return True
+        return False
+
+    def dead_links(self, step: int, n: Optional[int] = None) -> List[Tuple[int, int]]:
+        """All worker–worker links down at ``step`` (sorted, canonical)."""
+        n = self.n_workers if n is None else n
+        return [
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if self.link_down(a, b, step)
+        ]
+
+    # -- stochastic per-attempt draws ----------------------------------
+
+    def loss_prob(self, a: int, b: int, step: int) -> float:
+        """Per-attempt drop probability on the link (clauses combine as
+        independent loss processes: 1 − Π(1 − pᵢ))."""
+        keep = 1.0
+        for l in self.plan.losses:
+            if l.covers(a, b, step):
+                keep *= 1.0 - l.p
+        return 1.0 - keep
+
+    def dup_prob(self, a: int, b: int, step: int) -> float:
+        keep = 1.0
+        for d in self.plan.dups:
+            if d.covers(a, b, step):
+                keep *= 1.0 - d.p
+        return 1.0 - keep
+
+    def delay_factor(self, a: int, b: int, step: int) -> float:
+        """Multiplier on transfer time (overlapping clauses multiply)."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        factor = 1.0
+        for d in self.plan.delays:
+            if (d.a, d.b) == (lo, hi) and d.covers(step):
+                factor *= d.factor
+        return factor
+
+    def message_lost(self, src: int, dst: int, step: int, attempt: int) -> bool:
+        """Keyed Bernoulli draw: is this attempt's message dropped?"""
+        p = self.loss_prob(src, dst, step)
+        if p <= 0.0:
+            return False
+        u = self._rng(src, dst, step, self._SALT_LOSS, attempt).random()
+        return bool(u < p)
+
+    def message_duplicated(self, src: int, dst: int, step: int, attempt: int) -> bool:
+        """Keyed Bernoulli draw: does this attempt spawn a duplicate?"""
+        p = self.dup_prob(src, dst, step)
+        if p <= 0.0:
+            return False
+        u = self._rng(src, dst, step, self._SALT_DUP, attempt).random()
+        return bool(u < p)
+
+    def jitter_uniform(self, src: int, dst: int, step: int, attempt: int) -> float:
+        """Keyed uniform [0, 1) draw for backoff jitter."""
+        return float(
+            self._rng(src, dst, step, self._SALT_JITTER, attempt).random()
+        )
+
+
+def make_link_faults(
+    spec: Optional[str], n_workers: int, seed: int = 0
+) -> Optional[LinkFaultModel]:
+    """Build a :class:`LinkFaultModel` from a spec string, or ``None`` for
+    an empty spec — callers short-circuit on ``None`` so fault-free runs
+    never touch the link-fault code path at all."""
+    plan = parse_net_fault_spec(spec)
+    if plan.empty:
+        return None
+    return LinkFaultModel(plan, n_workers, seed=seed)

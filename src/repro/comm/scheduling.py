@@ -48,16 +48,34 @@ class ScheduleResult:
     n_messages: int
 
 
-def _transfer(nbytes: float, net: NetworkModel) -> float:
-    return net.latency_s + 8.0 * nbytes / net.effective_worker_bandwidth()
+def expected_attempts(loss_p: float) -> float:
+    """Expected send count for one message under i.i.d. loss ``loss_p``.
+
+    A lost message is retransmitted until it lands, so attempts are
+    geometric with mean ``1/(1-p)``. This is the steady-state cost a
+    ``loss:p=...`` link fault adds to a schedule, before timeout/backoff
+    overhead (which :class:`repro.comm.envelope.CommEnvelope` charges on
+    the live path).
+    """
+    if not 0.0 <= loss_p < 1.0:
+        raise ValueError(f"loss_p must be in [0, 1), got {loss_p}")
+    return 1.0 / (1.0 - loss_p)
+
+
+def _transfer(nbytes: float, net: NetworkModel, loss_p: float = 0.0) -> float:
+    one = net.latency_s + 8.0 * nbytes / net.effective_worker_bandwidth()
+    return one * expected_attempts(loss_p)
 
 
 def fused_schedule(
-    sizes: Sequence[int], backward_time: float, net: NetworkModel
+    sizes: Sequence[int],
+    backward_time: float,
+    net: NetworkModel,
+    loss_p: float = 0.0,
 ) -> ScheduleResult:
     """One message after the full backward pass."""
     total_bytes = float(sum(sizes))
-    t = _transfer(total_bytes, net)
+    t = _transfer(total_bytes, net, loss_p)
     return ScheduleResult(
         total_time=backward_time + t, comm_tail=t, n_messages=1
     )
@@ -65,7 +83,7 @@ def fused_schedule(
 
 def _overlapped(
     chunks: Sequence[float], backward_time: float, net: NetworkModel,
-    ready_fracs: Sequence[float],
+    ready_fracs: Sequence[float], loss_p: float = 0.0,
 ) -> ScheduleResult:
     """Simulate a single link draining ``chunks`` as they become ready.
 
@@ -76,7 +94,7 @@ def _overlapped(
     for frac, nbytes in zip(ready_fracs, chunks):
         ready_at = frac * backward_time
         start = max(clock, ready_at)
-        clock = start + _transfer(nbytes, net)
+        clock = start + _transfer(nbytes, net, loss_p)
     return ScheduleResult(
         total_time=max(clock, backward_time),
         comm_tail=max(0.0, clock - backward_time),
@@ -85,7 +103,10 @@ def _overlapped(
 
 
 def per_layer_schedule(
-    sizes: Sequence[int], backward_time: float, net: NetworkModel
+    sizes: Sequence[int],
+    backward_time: float,
+    net: NetworkModel,
+    loss_p: float = 0.0,
 ) -> ScheduleResult:
     """Send each layer as soon as its gradient exists (GradientFlow)."""
     n = len(sizes)
@@ -94,7 +115,9 @@ def per_layer_schedule(
     # Layer i (backward order) is ready after (i+1)/n of the backward pass;
     # readiness is proportional to work done, approximated as uniform.
     fracs = [(i + 1) / n for i in range(n)]
-    return _overlapped([float(s) for s in sizes], backward_time, net, fracs)
+    return _overlapped(
+        [float(s) for s in sizes], backward_time, net, fracs, loss_p
+    )
 
 
 def bucketed_schedule(
@@ -102,6 +125,7 @@ def bucketed_schedule(
     backward_time: float,
     net: NetworkModel,
     bucket_bytes: float = 1e6,
+    loss_p: float = 0.0,
 ) -> ScheduleResult:
     """Coalesce ready layers into ≥``bucket_bytes`` messages (ByteScheduler)."""
     if bucket_bytes <= 0:
@@ -119,7 +143,7 @@ def bucketed_schedule(
             buckets.append(acc)
             fracs.append((i + 1) / n)  # ready when its last layer is ready
             acc = 0.0
-    return _overlapped(buckets, backward_time, net, fracs)
+    return _overlapped(buckets, backward_time, net, fracs, loss_p)
 
 
 def compare_schedules(
@@ -127,12 +151,20 @@ def compare_schedules(
     backward_time: float,
     net: NetworkModel = None,
     bucket_bytes: float = 1e6,
+    loss_p: float = 0.0,
 ) -> dict:
-    """Run all three schedules over a model's real layer sizes."""
+    """Run all three schedules over a model's real layer sizes.
+
+    ``loss_p`` scales every message by its expected retransmit count —
+    lossy links hurt per-layer schedules the most (many small messages
+    each paying the geometric attempt tax on their own latency).
+    """
     net = net if net is not None else NetworkModel()
     sizes = layer_sizes_bytes(model)
     return {
-        "fused": fused_schedule(sizes, backward_time, net),
-        "per_layer": per_layer_schedule(sizes, backward_time, net),
-        "bucketed": bucketed_schedule(sizes, backward_time, net, bucket_bytes),
+        "fused": fused_schedule(sizes, backward_time, net, loss_p),
+        "per_layer": per_layer_schedule(sizes, backward_time, net, loss_p),
+        "bucketed": bucketed_schedule(
+            sizes, backward_time, net, bucket_bytes, loss_p
+        ),
     }

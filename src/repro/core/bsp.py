@@ -92,7 +92,10 @@ class BSPTrainer(DistributedTrainer):
             grads = self.wire_updates(pushers, grads)
 
         mean_grad, t_s = self.group.allreduce_mean(
-            grads, nbytes=payload, n_live=len(pushers) if degraded else None
+            grads,
+            nbytes=payload,
+            n_live=len(pushers) if degraded else None,
+            rank_ids=pushers if degraded else None,
         )
         tr = obs.active()
         if tr is not None:

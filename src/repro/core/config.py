@@ -8,10 +8,15 @@ from typing import Callable, Optional
 
 from repro.cluster.compute import ComputeModel
 from repro.cluster.executor import EXECUTOR_KINDS, WorkerExecutor, make_executor
-from repro.cluster.faults import FaultInjector, parse_fault_spec
+from repro.cluster.faults import (
+    FaultInjector,
+    parse_fault_spec,
+    parse_net_fault_spec,
+)
+from repro.comm.envelope import RetryPolicy
 from repro.cluster.health import HealthTracker
 from repro.comm.collectives import SimGroup
-from repro.comm.network import NetworkModel
+from repro.comm.network import LinkFaultModel, NetworkModel, make_link_faults
 from repro.core.robust import AGGREGATORS, Aggregator, make_aggregator
 
 
@@ -71,6 +76,19 @@ class ClusterConfig:
     #: disables injection — the simulation is then bitwise-identical to a
     #: cluster without the fault subsystem.
     fault_spec: Optional[str] = None
+    #: Link-level fault spec (see :mod:`repro.cluster.faults`), e.g.
+    #: ``"partition:{w0,w1|w2..w7}@100-200,loss:p=0.02"``. ``None``/empty
+    #: disables the resilient-collectives layer entirely — runs are then
+    #: bitwise-identical to builds without it.
+    net_fault_spec: Optional[str] = None
+    #: Retries per enveloped message after the first attempt (0 = fail
+    #: fast). Only consulted when ``net_fault_spec`` is set.
+    retry_max: int = 4
+    #: Backoff before the first retry, in milliseconds; doubles per retry
+    #: up to ``retry_cap_ms`` with ±``retry_jitter`` seeded jitter.
+    retry_base_ms: float = 25.0
+    retry_cap_ms: float = 2000.0
+    retry_jitter: float = 0.5
     #: Minimum number of workers that must contribute to an aggregation
     #: round; dropping below it raises
     #: :class:`~repro.cluster.faults.QuorumLostError` instead of silently
@@ -121,6 +139,22 @@ class ClusterConfig:
         # Parse eagerly so a bad spec fails at configuration time, not at
         # step 50 of a long run; worker ids are range-checked too.
         parse_fault_spec(self.fault_spec).validate(self.n_workers)
+        parse_net_fault_spec(self.net_fault_spec).validate(self.n_workers)
+        if self.retry_max < 0:
+            raise ValueError(f"retry_max must be >= 0, got {self.retry_max}")
+        if self.retry_base_ms < 0:
+            raise ValueError(
+                f"retry_base_ms must be >= 0, got {self.retry_base_ms}"
+            )
+        if self.retry_cap_ms < self.retry_base_ms:
+            raise ValueError(
+                f"retry_cap_ms ({self.retry_cap_ms}) must be >= "
+                f"retry_base_ms ({self.retry_base_ms})"
+            )
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1), got {self.retry_jitter}"
+            )
         if self.min_quorum is not None and not 1 <= self.min_quorum <= self.n_workers:
             raise ValueError(
                 f"min_quorum must be in [1, {self.n_workers}], got {self.min_quorum}"
@@ -185,12 +219,29 @@ class ClusterConfig:
             parse_fault_spec(self.fault_spec), self.n_workers, seed=self.seed
         )
 
+    def make_link_faults(self) -> Optional[LinkFaultModel]:
+        """Link-fault oracle, or ``None`` with no ``net_fault_spec`` —
+        callers short-circuit on ``None`` so fault-free runs never touch
+        the resilient layer."""
+        return make_link_faults(self.net_fault_spec, self.n_workers, seed=self.seed)
+
+    def make_retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.retry_max,
+            base_s=self.retry_base_ms / 1000.0,
+            cap_s=self.retry_cap_ms / 1000.0,
+            jitter=self.retry_jitter,
+        )
+
     def make_group(self, aggregator: Optional[Aggregator] = None) -> SimGroup:
+        link_faults = self.make_link_faults()
         return SimGroup(
             self.n_workers,
             net=self.net,
             topology=self.topology,
             aggregator=aggregator,
+            link_faults=link_faults,
+            retry_policy=self.make_retry_policy() if link_faults else None,
         )
 
     def make_executor(self) -> WorkerExecutor:

@@ -124,6 +124,7 @@ class EASGDTrainer(DistributedTrainer):
                 self.group.charge_sync(
                     self.comm_bytes,
                     n_live=len(exchangers) if degraded else None,
+                    rank_ids=exchangers if degraded else None,
                 ),
                 t_c,
             ) + t_retry

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro import obs
 from repro.cluster.worker import SimWorker
-from repro.comm.topology import build_topology
 from repro.core.config import ClusterConfig
 from repro.core.trainer import DistributedTrainer
 from repro.optim.schedules import LRSchedule
@@ -55,7 +54,6 @@ class FedAvgTrainer(DistributedTrainer):
         steps_per_epoch = workers[0].loader.steps_per_epoch
         self.sync_interval = max(1, int(round(e_factor * steps_per_epoch)))
         self._rng = as_rng(cluster.seed + 7919)
-        self._topology = build_topology(cluster.topology)
 
     def n_participants(self) -> int:
         return max(1, int(np.ceil(self.c_fraction * len(self.workers))))
@@ -116,14 +114,17 @@ class FedAvgTrainer(DistributedTrainer):
             if tr is not None:
                 tr.emit("aggregation", kind="PA", n_contrib=len(chosen))
             # Aggregation involves the C-fraction; the pull-back reaches all
-            # (live) workers.
-            t_s = self._topology.sync_time(
-                self.comm_bytes, len(chosen), self.cluster.net
+            # (live) workers. FedAvg charges its clock outside the group's
+            # byte ledger (the PS aggregation above moved the data), so use
+            # the timing-only path — identical to the raw topology formula
+            # without link faults, healed/enveloped with them.
+            t_s = self.group.sync_time_only(
+                self.comm_bytes,
+                n_live=len(chosen),
+                rank_ids=chosen if degraded else None,
             )
             if len(chosen) < len(self.workers):
-                t_s += self._topology.sync_time(
-                    self.comm_bytes, len(self.workers), self.cluster.net
-                ) / 2.0
+                t_s += self.group.sync_time_only(self.comm_bytes) / 2.0
             for w in live_workers:
                 w.set_params(global_params)
             t_s = self.effective_sync_time(t_s, t_c) + t_retry

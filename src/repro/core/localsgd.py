@@ -13,6 +13,9 @@ class LocalSGDTrainer(DistributedTrainer):
     anything, so each explores only its local minimum (paper §III-B)."""
 
     name = "localsgd"
+    # No data ever crosses a link, so link faults (including a full
+    # network partition) cannot take a worker out of the round.
+    communicates = False
 
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)

@@ -34,6 +34,7 @@ import os
 from typing import List, Optional
 
 from repro.cluster.faults import QuorumLostError
+from repro.comm.envelope import CollectiveTimeoutError
 from repro.core.config import TrainConfig
 from repro.core.divergence import replica_spread
 from repro.core.trainer import DistributedTrainer, TrainResult
@@ -204,6 +205,26 @@ class RecoverySupervisor:
                 # Degrade to the surviving worker set: demanding the old
                 # quorum again would fail the same way immediately.
                 trainer.quorum = survivors
+                cfg = self._rollback(trainer, cfg)
+            except CollectiveTimeoutError as e:
+                attempt += 1
+                self._record(
+                    cfg, e.step, attempt,
+                    "collective_timeout",
+                    {
+                        "op": e.op,
+                        "src": e.src,
+                        "dst": e.dst,
+                        "attempts": e.attempts,
+                    },
+                )
+                if attempt > self.max_recoveries:
+                    raise
+                # The schedule could not route around a dead link this
+                # step. Roll back and retry: a flapping link may be up
+                # again, and a persistent partition will have shrunk the
+                # live set by then (the partition filter degrades the
+                # round to the majority side before the collective runs).
                 cfg = self._rollback(trainer, cfg)
             except DivergenceExceededError as e:
                 attempt += 1

@@ -200,7 +200,9 @@ class SelSyncTrainer(DistributedTrainer):
                     )
                 )
                 t_s = self.group.charge_sync(
-                    self.comm_bytes, n_live=len(pushers) if degraded else None
+                    self.comm_bytes,
+                    n_live=len(pushers) if degraded else None,
+                    rank_ids=pushers if degraded else None,
                 )
                 if tr is not None:
                     tr.emit("aggregation", kind="PA", n_contrib=len(pushers))
@@ -214,7 +216,9 @@ class SelSyncTrainer(DistributedTrainer):
                     )
                 )
                 t_s = self.group.charge_sync(
-                    self.comm_bytes, n_live=len(pushers) if degraded else None
+                    self.comm_bytes,
+                    n_live=len(pushers) if degraded else None,
+                    rank_ids=pushers if degraded else None,
                 )
                 if tr is not None:
                     tr.emit("aggregation", kind="GA", n_contrib=len(pushers))

@@ -199,6 +199,25 @@ class SSPTrainer(DistributedTrainer):
                     if lost:
                         apply_update = False
                         push_delay = 0.0
+            if apply_update and self.net_faults is not None:
+                # SSP's fault windows live in each worker's own iteration
+                # space, so the link draws are keyed on (worker, PS, k) —
+                # begin_step installs k for this one push. A severed or
+                # lossy PS uplink retries through the envelope; a terminal
+                # loss drops this push (the worker keeps iterating and its
+                # next successful push lands the newer gradient).
+                self.group.begin_step(k)
+                wait_s, delivered = self.group.push_outcome(wid, self.comm_bytes)
+                if not delivered:
+                    self._record_fault(
+                        FaultRecord(
+                            step=k, worker=wid, kind="link_drop",
+                            detail={"wait_s": float(wait_s)},
+                        )
+                    )
+                    apply_update = False
+                else:
+                    push_delay += wait_s
             if apply_update:
                 grad = w.get_grads()
                 if self.faults.active and self.faults.adversarial_corrupts(wid, k):

@@ -78,6 +78,10 @@ class DistributedTrainer:
     """
 
     name = "abstract"
+    #: Whether this protocol moves data between workers at all. LocalSGD
+    #: sets this False: a network partition cannot hurt a protocol that
+    #: never communicates, so partition liveness filtering skips it.
+    communicates = True
 
     def __init__(
         self,
@@ -118,7 +122,19 @@ class DistributedTrainer:
         )
         self.faults = cluster.make_fault_injector()
         self.health = cluster.make_health()
+        # Link-level fault oracle shared with the collectives; ``None``
+        # whenever no net-fault spec is set (the fault-free fast path).
+        self.net_faults = self.group.link_faults
         self.quorum = cluster.effective_quorum
+        # Partition bookkeeping: records the onset fault exactly once and
+        # remembers who was cut so the heal can rebase them.
+        self._partitioned = False
+        self._partition_cut: List[int] = []
+        if self.degraded_mode:
+            # PS-side ledger of partial-information rounds; armed only in
+            # degraded-capable runs so fault-free checkpoints never grow
+            # the counter key.
+            self.server.expected_contributors = cluster.n_workers
         # Live set of the step in flight; None outside fault/health runs so
         # the deployable mean covers every worker (the fault-free fast path).
         self._current_live: Optional[List[int]] = None
@@ -153,10 +169,16 @@ class DistributedTrainer:
     @property
     def degraded_mode(self) -> bool:
         """True when aggregation rounds may cover a strict subset of the
-        cluster — under an active fault plan or with health quarantine
-        enabled. With both idle every round still covers all N workers, so
-        degraded-mode accounting is byte-identical to the plain path."""
-        return self.faults.active or self.health is not None
+        cluster — under an active fault plan, with health quarantine
+        enabled, or with link faults injected (a partition or a terminally
+        lost upload shrinks the round). With all three idle every round
+        still covers all N workers, so degraded-mode accounting is
+        byte-identical to the plain path."""
+        return (
+            self.faults.active
+            or self.health is not None
+            or self.net_faults is not None
+        )
 
     def max_compute_time(
         self,
@@ -223,8 +245,13 @@ class DistributedTrainer:
         configured quorum. A no-op returning the full live set when both
         fault injection and health tracking are disabled.
         """
+        self.group.begin_step(i)
         sf = self.faults.begin_step(i)
-        if not self.faults.active and self.health is None:
+        if (
+            not self.faults.active
+            and self.health is None
+            and self.net_faults is None
+        ):
             self._current_live = None
             return sf
         for c in self.faults.plan.crashes:
@@ -258,9 +285,65 @@ class DistributedTrainer:
             quarantined = set(self.health.quarantined_workers)
             if quarantined:
                 sf.live = [w for w in sf.live if w not in quarantined]
+        if self.net_faults is not None and self.communicates:
+            majority = self.net_faults.majority_side(i)
+            if majority is not None:
+                if not self._partitioned:
+                    self._partitioned = True
+                    self._partition_cut = [
+                        w for w in sf.live if w not in set(majority)
+                    ]
+                    self._record_fault(
+                        FaultRecord(
+                            step=i,
+                            worker=-1,
+                            kind="partition",
+                            detail={
+                                "majority": list(majority),
+                                "cut": list(self._partition_cut),
+                            },
+                        )
+                    )
+                # Minority-side workers are unreachable (their links to
+                # both the PS and the majority are severed): training
+                # continues on the majority side only.
+                sf.live = [w for w in sf.live if w in set(majority)]
+            else:
+                if self._partitioned:
+                    self._heal_partition(i, sf.live)
+                self._partitioned = False
         self._current_live = sf.live
         self.check_quorum(len(sf.live), i)
         return sf
+
+    def _heal_partition(self, step: int, live: Sequence[int]) -> None:
+        """A network partition ended: rebase the formerly-cut workers.
+
+        Gradient-aggregating protocols never re-ship parameters, so a
+        replica that sat out the partition would stay permanently offset
+        from the majority's trajectory. Re-entry therefore goes through
+        :meth:`~repro.cluster.worker.SimWorker.resync` — majority-consensus
+        parameters, fresh optimizer state — exactly like a crash rejoin
+        without a checkpoint.
+        """
+        cut = set(self._partition_cut)
+        self._partition_cut = []
+        donors = [w for w in live if w not in cut]
+        if not donors:
+            return
+        consensus = np.mean(
+            np.stack([self.workers[j].get_params() for j in donors]), axis=0
+        )
+        for wid in sorted(cut):
+            self.workers[wid].resync(consensus)
+            self._record_fault(
+                FaultRecord(
+                    step=step,
+                    worker=wid,
+                    kind="rejoin",
+                    detail={"healed_partition": True},
+                )
+            )
 
     def _reinstate_worker(self, wid: int, step: int, live: Sequence[int]) -> None:
         """Probation elapsed: restore the worker from the current consensus
@@ -275,13 +358,14 @@ class DistributedTrainer:
             if j != wid and not self.health.quarantined(j)
         ]
         if donors:
-            w.set_params(
+            w.resync(
                 np.mean(
                     np.stack([self.workers[j].get_params() for j in donors]),
                     axis=0,
                 )
             )
-        w.optimizer.reset_state()
+        else:
+            w.optimizer.reset_state()
         self._on_worker_rejoin(wid, False)
         self._record_fault(
             FaultRecord(step=step, worker=wid, kind="reinstate", detail={})
@@ -450,29 +534,58 @@ class DistributedTrainer:
         exponential backoff). Workers whose upload was abandoned after
         :data:`~repro.cluster.faults.MAX_UPLOAD_RETRIES` are returned so
         the caller excludes them from the aggregation round.
+
+        With link faults active and a PS topology, each uploader's push
+        also travels through the collectives' retrying envelope: retry
+        latency is charged the same parallel-max way, and a push that
+        exhausts its attempts drops that worker from the round — the same
+        degradation path worker-level drop faults take. (Ring/tree
+        schedules handle link faults inside the collective itself, where a
+        dead link heals or raises ``CollectiveTimeoutError``.)
         """
-        if not self.faults.active:
+        if not self.faults.active and self.net_faults is None:
             return 0.0, []
-        transfer_s = self.cluster.net.transfer_time(self.comm_bytes)
         extra = 0.0
         lost: List[int] = []
-        for wid in uploaders:
-            penalty, retries, abandoned = self.faults.upload_penalty_seconds(
-                wid, step, transfer_s
-            )
-            if retries:
-                self._record_fault(
-                    FaultRecord(
-                        step=step,
-                        worker=wid,
-                        kind="drop",
-                        detail={"retries": retries, "lost": int(abandoned)},
-                    )
+        if self.faults.active:
+            transfer_s = self.cluster.net.transfer_time(self.comm_bytes)
+            for wid in uploaders:
+                penalty, retries, abandoned = self.faults.upload_penalty_seconds(
+                    wid, step, transfer_s
                 )
-            if abandoned:
-                lost.append(wid)
-            else:
-                extra = max(extra, penalty)
+                if retries:
+                    self._record_fault(
+                        FaultRecord(
+                            step=step,
+                            worker=wid,
+                            kind="drop",
+                            detail={"retries": retries, "lost": int(abandoned)},
+                        )
+                    )
+                if abandoned:
+                    lost.append(wid)
+                else:
+                    extra = max(extra, penalty)
+        if self.net_faults is not None and self.group.topology.name == "ps":
+            net_extra = 0.0
+            already = set(lost)
+            for wid in uploaders:
+                if wid in already:
+                    continue
+                wait_s, delivered = self.group.push_outcome(wid, self.comm_bytes)
+                if not delivered:
+                    lost.append(wid)
+                    self._record_fault(
+                        FaultRecord(
+                            step=step,
+                            worker=wid,
+                            kind="link_drop",
+                            detail={"wait_s": float(wait_s)},
+                        )
+                    )
+                else:
+                    net_extra = max(net_extra, wait_s)
+            extra += net_extra
         return extra, lost
 
     def _record_fault(self, rec: FaultRecord) -> None:
@@ -502,13 +615,14 @@ class DistributedTrainer:
                 j for j in self.faults.live_workers(step) if j != wid
             ]
             if live_others:
-                w.set_params(
+                w.resync(
                     np.mean(
                         np.stack([self.workers[j].get_params() for j in live_others]),
                         axis=0,
                     )
                 )
-            w.optimizer.reset_state()
+            else:
+                w.optimizer.reset_state()
         self._on_worker_rejoin(wid, from_checkpoint)
         self._record_fault(
             FaultRecord(

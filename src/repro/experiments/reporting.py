@@ -101,8 +101,10 @@ def render_run_dashboard(tracer) -> str:
     """Ascii per-run dashboard over a closed (or in-memory) trace.
 
     Sections: headline ratios (sync ratio, bytes/step), per-collective
-    traffic, a step-time sparkline, and a straggler heatmap (workers ×
-    time buckets, darker = relatively slower that bucket).
+    traffic, a step-time sparkline, a straggler heatmap (workers × time
+    buckets, darker = relatively slower that bucket), and — when the run
+    saw link faults — per-step retry/reroute sparklines plus a link-health
+    matrix (ranks × ranks, darker = more faulted steps on that link).
     """
     from repro.obs import views
 
@@ -148,4 +150,37 @@ def render_run_dashboard(tracer) -> str:
                 for v in row
             )
             lines.append(f"  w{wid:<3d} |{cells}|")
+    retries = views.retry_series(events)
+    reroutes = views.reroute_series(events)
+    if (retries is not None and retries.any()) or (
+        reroutes is not None and reroutes.any()
+    ):
+        lines.append("")
+        lines.append(
+            f"network retries/step  [{sparkline(retries)}] "
+            f"(total {int(retries.sum())})"
+        )
+        lines.append(
+            f"reroutes/step         [{sparkline(reroutes)}] "
+            f"(total {int(reroutes.sum())})"
+        )
+    health = views.link_health_matrix(events)
+    if health is not None and health.any():
+        hi = health.max() or 1.0
+        n = len(health)
+        lines.append("")
+        lines.append(
+            "link health (ranks x ranks, dark = faulted steps; "
+            f"rank {n - 1} may be the PS):"
+        )
+        header = "        " + "".join(f"{r % 10}" for r in range(n))
+        lines.append(header)
+        for a, row in enumerate(health):
+            cells = "".join(
+                _SHADES[
+                    min(len(_SHADES) - 1, int(v / hi * (len(_SHADES) - 1)))
+                ]
+                for v in row
+            )
+            lines.append(f"  r{a:<4d} |{cells}|")
     return "\n".join(lines)

@@ -57,6 +57,10 @@ EVENT_TYPES = (
     "aggregator_decision",  # robust aggregation: inputs kept/dropped + info
     "quarantine",       # health tracker flagged a worker (reason/score)
     "reinstate",        # quarantined worker restored after probation
+    "link_fault",       # a link dropped/downed a message (src/dst/kind)
+    "retry",            # enveloped message retried: attempts + wait charged
+    "reroute",          # collective healed around dead links (mode/detail)
+    "partition_detected",  # network partition onset: groups + majority side
 )
 
 #: Aggregation kinds carried by ``aggregation`` events.
@@ -211,6 +215,17 @@ class Tracer:
             m.inc("health.quarantines")
         elif ev.etype == "reinstate":
             m.inc("health.reinstatements")
+        elif ev.etype == "retry":
+            m.inc("comm.retries", float(max(0, int(d.get("attempts", 1)) - 1)))
+            m.inc("comm.retry_wait_s", float(d.get("wait_s", 0.0)))
+            if not d.get("delivered", True):
+                m.inc("comm.exhausted")
+        elif ev.etype == "reroute":
+            m.inc("comm.reroutes")
+        elif ev.etype == "link_fault":
+            m.inc("net.link_faults")
+        elif ev.etype == "partition_detected":
+            m.inc("net.partitions")
 
     # -- access / persistence ---------------------------------------------
     @property

@@ -129,6 +129,75 @@ def straggler_matrix(
     return rel
 
 
+def _step_range(events: Sequence[TraceEvent]) -> Optional[range]:
+    """Inclusive step span of the run, from ``step_end`` events."""
+    ends = events_of_type(events, "step_end")
+    if not ends:
+        return None
+    steps = [e.step for e in ends]
+    return range(min(steps), max(steps) + 1)
+
+
+def retry_series(events: Sequence[TraceEvent]) -> Optional[np.ndarray]:
+    """Per-step count of *extra* send attempts (retries), dense over the run.
+
+    ``retry`` events carry the total attempt count for one enveloped
+    message; the series accumulates ``attempts - 1`` so a fault-free step
+    reads 0. Index 0 is the run's first completed step.
+    """
+    span = _step_range(events)
+    if span is None:
+        return None
+    series = np.zeros(len(span))
+    for e in events_of_type(events, "retry"):
+        if span.start <= e.step < span.stop:
+            series[e.step - span.start] += max(
+                0, int(e.data.get("attempts", 1)) - 1
+            )
+    return series
+
+
+def reroute_series(events: Sequence[TraceEvent]) -> Optional[np.ndarray]:
+    """Per-step count of healed (rerouted) collective rounds."""
+    span = _step_range(events)
+    if span is None:
+        return None
+    series = np.zeros(len(span))
+    for e in events_of_type(events, "reroute"):
+        if span.start <= e.step < span.stop:
+            series[e.step - span.start] += 1.0
+    return series
+
+
+def link_health_matrix(
+    events: Sequence[TraceEvent], n_ranks: Optional[int] = None
+) -> Optional[np.ndarray]:
+    """(n_ranks, n_ranks) symmetric count of steps each link was faulted.
+
+    Built from ``link_fault`` events (one per link per step, deduplicated
+    at the source). Rank ``n_workers`` is the parameter server when a PS
+    uplink ever faulted. Cell (a, b) == 0 means the link never misbehaved.
+    """
+    faults = events_of_type(events, "link_fault")
+    if not faults:
+        return None
+    pairs = [
+        (int(e.data["src"]), int(e.data["dst"]))
+        for e in faults
+        if "src" in e.data and "dst" in e.data
+    ]
+    if not pairs:
+        return None
+    if n_ranks is None:
+        n_ranks = max(max(a, b) for a, b in pairs) + 1
+    mat = np.zeros((n_ranks, n_ranks))
+    for a, b in pairs:
+        if a < n_ranks and b < n_ranks:
+            mat[a, b] += 1.0
+            mat[b, a] += 1.0
+    return mat
+
+
 def collective_totals(events: Sequence[TraceEvent]) -> Dict[str, Dict[str, float]]:
     """Per-op totals: count, bytes, simulated seconds."""
     out: Dict[str, Dict[str, float]] = {}

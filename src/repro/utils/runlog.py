@@ -77,6 +77,9 @@ FAULT_KINDS = (
     "quarantine",
     "reinstate",
     "recovery",
+    # Link-level network faults (repro.cluster.faults net-fault grammar).
+    "partition",
+    "link_drop",
 )
 
 

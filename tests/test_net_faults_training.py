@@ -1,0 +1,98 @@
+"""End-to-end acceptance regression for resilient collectives (slow).
+
+SmallVGG/8w SelSync — the acceptance configuration:
+
+* under ``loss:p=0.05`` the retry envelope absorbs the losses: final
+  accuracy stays within 2% of the fault-free run (in practice the retry
+  schedule delivers every message, so the *trajectory* is unchanged and
+  only simulated time grows);
+* with retries disabled (``retry_max=0``) the same loss process
+  measurably degrades the run — uploads are abandoned, rounds aggregate
+  partial information, and the PS degraded-round ledger ticks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import MethodSpec, run_method
+from repro.experiments.workloads import build_workload
+
+pytestmark = pytest.mark.slow
+
+LOSS_SPEC = "loss:p=0.05"
+
+
+def _vgg_run(net_fault_spec=None, retry_max=4):
+    kw = {}
+    if net_fault_spec:
+        kw.update(
+            {
+                "net_fault_spec": net_fault_spec,
+                "retry_max": retry_max,
+                "min_quorum": 2,
+            }
+        )
+    built = build_workload(
+        "vgg_cifar100",
+        n_workers=8,
+        seed=0,
+        data_scale=0.15,
+        partition_scheme="seldp",
+        cluster_kwargs=kw,
+        dataset_overrides={"n_classes": 10},
+    )
+    res = run_method(
+        MethodSpec("selsync", {"delta": 0.3}), built, n_steps=120,
+        eval_every=120,
+    )
+    return res.log.evals[-1].metric, res
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return _vgg_run()
+
+
+@pytest.fixture(scope="module")
+def lossy_with_retries():
+    return _vgg_run(LOSS_SPEC, retry_max=4)
+
+
+@pytest.fixture(scope="module")
+def lossy_no_retries():
+    return _vgg_run(LOSS_SPEC, retry_max=0)
+
+
+def test_fault_free_baseline_learns(clean):
+    acc, _ = clean
+    # Measured 0.9444 at this configuration (same bar as the robust
+    # aggregation suite).
+    assert acc >= 0.85
+
+
+def test_retries_hold_fault_free_accuracy(clean, lossy_with_retries):
+    clean_acc, _ = clean
+    lossy_acc, res = lossy_with_retries
+    # The acceptance bar: within 2% of the fault-free final accuracy.
+    assert lossy_acc >= clean_acc - 0.02
+    assert np.isfinite(res.log.iterations[-1].loss)
+
+
+def test_no_retries_measurably_degrades(lossy_no_retries):
+    acc, res = lossy_no_retries
+    # Single-shot sends under p=0.05: uploads are abandoned and rounds
+    # proceed on partial information. The degradation must be visible in
+    # the fault ledger even when the accuracy hit is mild.
+    drops = [f for f in res.log.faults if f.kind == "link_drop"]
+    assert len(drops) >= 5
+    assert np.isfinite(res.log.iterations[-1].loss)
+    assert np.isfinite(acc)
+
+
+def test_retry_run_charges_more_simulated_time(clean, lossy_with_retries):
+    _, res_clean = clean
+    _, res_lossy = lossy_with_retries
+    t_clean = sum(r.sim_time for r in res_clean.log.iterations)
+    t_lossy = sum(r.sim_time for r in res_lossy.log.iterations)
+    # Retries cost simulated seconds (timeouts + backoff), never bytes.
+    assert t_lossy > t_clean
