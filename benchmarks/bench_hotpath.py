@@ -231,6 +231,52 @@ def executor_sweep(trials: int, steps: int, quick: bool):
     return results
 
 
+def shard_sweep(n_steps: int, shard_counts=(1, 2, 4, 8), method: str = "bsp"):
+    """Modelled sync-time sweep over parameter-server shard counts.
+
+    Sharding is a *timing-model* statement — shards are served by parallel
+    PS ingress links, so the sync round costs the slowest shard, not the
+    sum — while the arithmetic is bitwise shard-count-invariant. Both
+    halves are checked here: modelled comm time must shrink (S=4 at least
+    1.5x faster than unsharded on SmallVGG, whose largest tensor holds
+    ~60% of the bytes) and the final global params must be identical to
+    the unsharded run. Modelled time is deterministic, so the assertion
+    cannot flake with host speed.
+    """
+    from repro.core import TrainConfig
+
+    out = {
+        "workload": "vgg_cifar100 (SmallVGG), 8 workers, data_scale=0.25",
+        "method": method,
+        "n_steps": n_steps,
+        "metric": "modelled (simulated) communication seconds, whole run",
+        "per_shard": {},
+    }
+    ref_params = ref_comm = None
+    identical = True
+    for s in shard_counts:
+        trainer = make_trainer(method, "serial", cluster_extra={"ps_shards": s})
+        try:
+            res = trainer.run(TrainConfig(n_steps=n_steps, eval_every=n_steps))
+        finally:
+            trainer.executor.shutdown()
+        comm = sum(r.comm_time for r in res.log.iterations)
+        params = trainer.server.pull().tobytes()
+        if ref_params is None:
+            ref_params, ref_comm = params, comm
+        identical = identical and params == ref_params
+        out["per_shard"][str(s)] = {
+            "comm_time_s": round(comm, 6),
+            "sim_time_s": round(res.log.total_sim_time, 6),
+            "speedup_vs_unsharded": round(ref_comm / comm, 3),
+        }
+    out["params_bitwise_identical"] = identical
+    assert identical, "sharding changed the arithmetic (params differ)"
+    s4 = out["per_shard"]["4"]["speedup_vs_unsharded"]
+    assert s4 >= 1.5, f"S=4 sync speedup {s4} < 1.5x on SmallVGG/8w {method}"
+    return out
+
+
 def micro_flat_ops(n_params: int = 200_000, n_workers: int = 8, reps: int = 50):
     """Microbenchmark: flatten + aggregate, seed idiom vs arena idiom."""
     rng = np.random.default_rng(0)
@@ -297,7 +343,9 @@ def main(argv=None) -> int:
             "methods": {},
             "micro": micro_flat_ops(),
             "aggregator_overhead": aggregator_sweep(trials, steps_on),
+            "shard_speedup": shard_sweep(4 if args.quick else 10),
         }
+        print(f"shard_speedup: {results['shard_speedup']['per_shard']}")
         for method in ("bsp", "selsync"):
             results["methods"][method] = {
                 "arena-serial": ab_trial(method, "serial", trials, steps_off, steps_on),

@@ -91,6 +91,14 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         "paper's testbed)",
     )
     p.add_argument(
+        "--ps-shards", type=int,
+        default=int(os.environ.get("REPRO_PS_SHARDS", "1")), metavar="S",
+        help="partition the parameter server into S layer-aligned shards "
+        "served in parallel (requires --topology ps; 1 keeps the run "
+        "byte-identical to an unsharded build; default honours "
+        "$REPRO_PS_SHARDS)",
+    )
+    p.add_argument(
         "--net-faults", default=None, metavar="SPEC",
         help="inject link-level network faults, e.g. "
         "'partition:{w0,w1|w2..w7}@100-200,loss:p=0.02,"
@@ -183,6 +191,7 @@ def _build(args, spec: MethodSpec):
             "executor_procs": getattr(args, "procs", None),
             "fault_spec": getattr(args, "fault_spec", None),
             "topology": getattr(args, "topology", "ps"),
+            "ps_shards": getattr(args, "ps_shards", 1),
             # argparse hyphens become underscores; '' means "no net faults"
             # and must behave exactly like unset (byte-identity contract).
             "net_fault_spec": getattr(args, "net_faults", None) or None,

@@ -179,3 +179,140 @@ class ParameterServer:
         self._agg = None
         self.version = int(state["version"])
         self.degraded_rounds = int(state.get("degraded_rounds", 0))
+
+
+class ShardedParameterServer(ParameterServer):
+    """Parameter server split into ``S`` independently aggregated shards.
+
+    Each shard owns a contiguous, layer-aligned slice of the flat parameter
+    vector (geometry from a :class:`~repro.comm.sharding.ShardSpec`) and
+    runs its round independently: robust aggregators see one shard's slices,
+    per-shard versions advance separately, and a worker whose uplink push
+    for one shard was lost is excluded from *that shard's* aggregation only
+    (a degraded shard round) instead of the whole sync.
+
+    Arithmetic contract: with no absences and the plain mean, aggregating
+    shard-by-shard is **bitwise identical** to the unsharded path —
+    ``mean_into`` accumulates elementwise, so slicing the reduction changes
+    nothing. The sharded server therefore alters *when parallelism is
+    charged* and *how faults degrade*, never fault-free numerics.
+
+    The asynchronous (SSP) path is inherited unchanged: an async push is a
+    full-vector delta applied atomically, which per shard is the same
+    write; only the synchronous rounds track per-shard versions.
+    """
+
+    def __init__(self, init_params: np.ndarray, spec, aggregator=None):
+        super().__init__(init_params, aggregator=aggregator)
+        if spec.n_params != self._params.size:
+            raise ValueError(
+                f"shard spec covers {spec.n_params} params but the model "
+                f"has {self._params.size}"
+            )
+        self.spec = spec
+        self.shard_versions: List[int] = [0] * spec.n_shards
+        #: Shard-round ledger: ticks once per shard whose round ran with
+        #: fewer contributors than pushed (or did not run at all).
+        self.degraded_shard_rounds: int = 0
+        # shard -> positions (indices into the pushed list) absent from the
+        # next round; consumed by the next aggregate call.
+        self._shard_absent: dict = {}
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.spec.n_shards)
+
+    def set_shard_absences(self, absences) -> None:
+        """Positions per shard to exclude from the next aggregation round
+        (mirrors :meth:`repro.comm.collectives.SimGroup.set_shard_absences`)."""
+        clean = {}
+        for s, positions in absences.items():
+            s = int(s)
+            if not 0 <= s < self.n_shards:
+                raise ValueError(
+                    f"shard {s} out of range [0, {self.n_shards})"
+                )
+            if positions:
+                clean[s] = frozenset(int(p) for p in positions)
+        self._shard_absent = clean
+
+    def _take_shard_absences(self) -> dict:
+        absent = self._shard_absent
+        self._shard_absent = {}
+        return absent
+
+    def pull_shard(self, shard: int, copy: bool = True) -> np.ndarray:
+        """Current global parameters of one shard."""
+        view = self._params[self.spec.slices()[shard]]
+        return view.copy() if copy else self._readonly(view)
+
+    def _reduce_shards(
+        self, pushed: Sequence[np.ndarray], out: np.ndarray, where: str
+    ) -> None:
+        absent = self._take_shard_absences()
+        for s, sl in enumerate(self.spec.slices()):
+            gone = absent.get(s, frozenset())
+            vecs = [v[sl] for i, v in enumerate(pushed) if i not in gone]
+            if len(vecs) < len(pushed):
+                self.degraded_shard_rounds += 1
+            if not vecs:
+                # Round skipped entirely: the shard keeps (params) or
+                # contributes (grads) nothing — out holds the previous
+                # globals for the params buffer, zeros for a grad scratch.
+                if where == "grads":
+                    out[sl] = 0.0
+                continue
+            if self.aggregator is not None:
+                self.aggregator.reduce(
+                    vecs, out=out[sl], where=f"{where}/shard{s}"
+                )
+            else:
+                mean_into(vecs, out=out[sl])
+            self.shard_versions[s] += 1
+
+    def aggregate_params(self, pushed: Sequence[np.ndarray]) -> np.ndarray:
+        self._check(pushed)
+        self.version += 1
+        self._reduce_shards(pushed, self._params, "params")
+        return self._readonly(self._params)
+
+    def aggregate_grads(self, grads: Sequence[np.ndarray]) -> np.ndarray:
+        self._check(grads)
+        self.version += 1
+        if self._agg is None or self._agg.shape != self._params.shape:
+            self._agg = np.empty_like(self._params)
+        self._reduce_shards(grads, self._agg, "grads")
+        return self._readonly(self._agg)
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["sharding"] = {
+            "bounds": list(self.spec.bounds),
+            "shard_versions": list(self.shard_versions),
+            "degraded_shard_rounds": self.degraded_shard_rounds,
+        }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        sh = state.get("sharding")
+        if sh is None:
+            raise ValueError(
+                "checkpoint has no shard state; it was saved by an "
+                "unsharded server and cannot resume a sharded run"
+            )
+        if list(sh["bounds"]) != list(self.spec.bounds):
+            raise ValueError(
+                f"shard layout mismatch: checkpoint bounds "
+                f"{list(sh['bounds'])} vs server {list(self.spec.bounds)}"
+            )
+        versions = [int(v) for v in sh["shard_versions"]]
+        if len(versions) != self.n_shards:
+            raise ValueError(
+                f"checkpoint has {len(versions)} shard versions, "
+                f"server has {self.n_shards} shards"
+            )
+        self.shard_versions = versions
+        self.degraded_shard_rounds = int(sh["degraded_shard_rounds"])
+        self._shard_absent = {}

@@ -13,9 +13,11 @@ from repro.comm.costmodel import (
     p2p_time,
     ps_sync_time,
     ring_allreduce_time,
+    sharded_ps_sync_time,
     tree_allreduce_time,
     tree_reparent_time,
 )
+from repro.comm.sharding import ShardSpec
 from repro.comm.envelope import (
     CollectiveTimeoutError,
     CommEnvelope,
@@ -38,6 +40,7 @@ from repro.comm.scheduling import (
     fused_schedule,
     layer_sizes_bytes,
     per_layer_schedule,
+    sharded_schedule,
 )
 
 __all__ = [
@@ -45,6 +48,8 @@ __all__ = [
     "LinkFaultModel",
     "make_link_faults",
     "ps_sync_time",
+    "sharded_ps_sync_time",
+    "ShardSpec",
     "ring_allreduce_time",
     "tree_allreduce_time",
     "chain_allreduce_time",
@@ -67,5 +72,6 @@ __all__ = [
     "fused_schedule",
     "per_layer_schedule",
     "bucketed_schedule",
+    "sharded_schedule",
     "compare_schedules",
 ]

@@ -14,9 +14,15 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.comm.costmodel import allgather_bits_time, p2p_time
+from repro.comm.costmodel import (
+    allgather_bits_time,
+    p2p_time,
+    ps_sync_time,
+    sharded_ps_sync_time,
+)
 from repro.comm.envelope import CollectiveTimeoutError, CommEnvelope, RetryPolicy
 from repro.comm.network import LinkFaultModel, NetworkModel
+from repro.comm.sharding import ShardSpec
 from repro.comm.topology import Topology, build_topology
 from repro.utils import fastpath
 from repro.utils.flatten import mean_into
@@ -43,6 +49,14 @@ class SimGroup:
         schedule cannot route around raises :class:`CollectiveTimeoutError`.
     retry_policy:
         Envelope retry/backoff schedule; only consulted with link faults.
+    shard_spec:
+        Optional :class:`~repro.comm.sharding.ShardSpec`. ``None`` (or a
+        single-shard spec, which is normalized to ``None``) keeps every
+        sync on the original full-vector path — byte-identical to builds
+        without sharding. With ``S > 1`` shards, full-model syncs run one
+        PS round per shard **in parallel** and the clock charges
+        :func:`~repro.comm.costmodel.sharded_ps_sync_time`; only the
+        ``"ps"`` topology supports this (enforced by the config layer).
     """
 
     def __init__(
@@ -53,6 +67,7 @@ class SimGroup:
         aggregator=None,
         link_faults: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        shard_spec: Optional[ShardSpec] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -87,6 +102,21 @@ class SimGroup:
         self._faulted_links: set = set()
         # Reusable allreduce output (fast path); sized on first use.
         self._mean_buf: Optional[np.ndarray] = None
+        # Sharded-PS geometry; a trivial 1-shard spec is normalized away so
+        # the unsharded code paths stay the only ones default runs touch.
+        self.shard_spec: Optional[ShardSpec] = (
+            shard_spec
+            if shard_spec is not None and shard_spec.n_shards > 1
+            else None
+        )
+        # Per-shard absences (shard -> positions in the round's vector
+        # list) pending for the next sharded round; set by the trainer
+        # when an uplink push for one shard was terminally lost.
+        self._shard_absent: dict = {}
+        #: Shard rounds that ran with fewer contributors than the sync's
+        #: cohort (or did not run at all) — the group-side degradation
+        #: ledger, mirroring the sharded server's.
+        self.degraded_shard_rounds: int = 0
 
     # -- step context ------------------------------------------------------
     def begin_step(self, step: int) -> None:
@@ -97,6 +127,9 @@ class SimGroup:
         transitions and emits ``partition_detected`` events.
         """
         self._step = int(step)
+        # Shard absences never survive a step boundary: an aborted round
+        # (quorum loss, rollback) must not leak its drops into the next one.
+        self._shard_absent = {}
         if self.link_faults is None:
             return
         self._faulted_links = set()
@@ -197,6 +230,109 @@ class SimGroup:
             )
         return t
 
+    # -- sharded parameter service ----------------------------------------
+    def set_shard_absences(self, absences) -> None:
+        """Install per-shard drops for the *next* sharded sync round.
+
+        ``absences`` maps shard index → positions (indices into the round's
+        vector list) whose uplink push for that shard was terminally lost.
+        Those positions are excluded from that shard's aggregation and its
+        contributor count — a degraded *shard* round — while still counting
+        toward every other shard. Consumed by the next sharded round and
+        cleared at each ``begin_step``.
+        """
+        if self.shard_spec is None:
+            raise RuntimeError("set_shard_absences requires a sharded group")
+        clean = {}
+        for s, positions in absences.items():
+            s = int(s)
+            if not 0 <= s < self.shard_spec.n_shards:
+                raise ValueError(
+                    f"shard {s} out of range [0, {self.shard_spec.n_shards})"
+                )
+            if positions:
+                clean[s] = frozenset(int(p) for p in positions)
+        self._shard_absent = clean
+
+    def _take_shard_absences(self) -> dict:
+        absent = self._shard_absent
+        self._shard_absent = {}
+        return absent
+
+    def _sharded_mean(self, vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Per-shard aggregate of ``vectors`` into the reusable buffer.
+
+        Reads (does not consume) the pending shard absences so the arithmetic
+        and the subsequent :meth:`_sharded_round` charge see the same drops.
+        With no absences and ``aggregator=None`` the result is bitwise equal
+        to the unsharded mean: ``mean_into`` accumulates elementwise, so
+        slicing the reduction per shard changes nothing.
+        """
+        first = np.asarray(vectors[0])
+        if self._mean_buf is None or self._mean_buf.shape != first.shape:
+            self._mean_buf = np.empty(first.shape, dtype=np.float64)
+        for s, sl in enumerate(self.shard_spec.slices()):
+            gone = self._shard_absent.get(s, frozenset())
+            shard_vecs = [
+                np.asarray(v)[sl]
+                for i, v in enumerate(vectors)
+                if i not in gone
+            ]
+            if not shard_vecs:
+                # Nobody delivered this shard: no information, no movement.
+                self._mean_buf[sl] = 0.0
+            elif self.aggregator is not None:
+                self.aggregator.reduce(
+                    shard_vecs, out=self._mean_buf[sl], where="allreduce"
+                )
+            else:
+                mean_into(shard_vecs, out=self._mean_buf[sl])
+        mean = self._mean_buf.view()
+        mean.flags.writeable = False
+        return mean
+
+    def _sharded_round(self, op: str, payload: float, ranks: int) -> float:
+        """Charge one sharded full-model sync round; consumes absences.
+
+        Emits one ``collective`` event per shard (its ``bytes`` is exactly
+        what that shard added to :attr:`bytes_synced`, preserving the
+        events-sum == counter invariant) plus one ``shard_round`` summary
+        event whose ``bytes`` recaps the round total without being counted
+        again by the metrics tap.
+        """
+        spec = self.shard_spec
+        absent = self._take_shard_absences()
+        shard_bytes = spec.int_payloads(payload)
+        ks = [
+            max(0, ranks - len(absent.get(s, ())))
+            for s in range(spec.n_shards)
+        ]
+        total = sharded_ps_sync_time(shard_bytes, ks, self.net)
+        self.degraded_shard_rounds += sum(1 for k in ks if k < ranks)
+        round_bytes = 0
+        n_active = 0
+        for s, (b, k) in enumerate(zip(shard_bytes, ks)):
+            t_s = ps_sync_time(float(b), k, self.net) if k >= 1 else 0.0
+            counted = int(b) * k
+            self.bytes_synced += counted
+            round_bytes += counted
+            if k >= 1:
+                n_active += 1
+            self._trace(op, float(b), counted, k, t_s, shard=s)
+        self.n_syncs += 1
+        tr = obs.active()
+        if tr is not None:
+            tr.emit(
+                "shard_round",
+                op=op,
+                n_shards=spec.n_shards,
+                n_active=n_active,
+                n_degraded=sum(1 for k in ks if k < ranks),
+                bytes=float(round_bytes),
+                seconds=total,
+            )
+        return total
+
     # -- full-model synchronization ---------------------------------------
     def allreduce_mean(
         self,
@@ -234,6 +370,11 @@ class SimGroup:
         for v in vectors[1:]:
             if np.asarray(v).shape != first.shape:
                 raise ValueError("allreduce requires equally-shaped vectors")
+        if self.shard_spec is not None:
+            mean = self._sharded_mean(vectors)
+            payload = float(first.nbytes if nbytes is None else nbytes)
+            t = self._sharded_round("allreduce", payload, expected)
+            return mean, t
         if self.aggregator is not None:
             if self._mean_buf is None or self._mean_buf.shape != first.shape:
                 self._mean_buf = np.empty(first.shape, dtype=np.float64)
@@ -280,6 +421,8 @@ class SimGroup:
         ranks = self.n_workers if n_live is None else int(n_live)
         if not 1 <= ranks <= self.n_workers:
             raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
+        if self.shard_spec is not None:
+            return self._sharded_round("sync", float(nbytes), ranks)
         if self.envelope is None:
             t = self.topology.sync_time(float(nbytes), ranks, self.net)
         else:
@@ -305,11 +448,21 @@ class SimGroup:
         ranks = self.n_workers if n_live is None else int(n_live)
         if not 1 <= ranks <= self.n_workers:
             raise ValueError(f"n_live must be in [1, {self.n_workers}], got {n_live}")
+        if self.shard_spec is not None:
+            # Time-only query: uniform contributor counts, and the pending
+            # absences (if any) are left for the accounted round to consume.
+            return sharded_ps_sync_time(
+                self.shard_spec.int_payloads(float(nbytes)),
+                [ranks] * self.shard_spec.n_shards,
+                self.net,
+            )
         if self.envelope is None:
             return self.topology.sync_time(float(nbytes), ranks, self.net)
         return self._resilient_sync("sync", float(nbytes), ranks, rank_ids)
 
-    def push_outcome(self, worker: int, nbytes: float) -> Tuple[float, bool]:
+    def push_outcome(
+        self, worker: int, nbytes: float, shard: Optional[int] = None
+    ) -> Tuple[float, bool]:
         """Simulate one worker's PS uplink push through the envelope.
 
         Returns ``(extra_seconds, delivered)``. Only meaningful with link
@@ -317,12 +470,18 @@ class SimGroup:
         does NOT raise here: the PS schedule tolerates holes, so the
         trainer degrades by dropping that worker from the round — the same
         path worker-level drop faults take.
+
+        ``shard`` namespaces one shard's push within the step: each shard
+        message draws its own loss/dup/jitter fate (envelope ``msg`` key
+        ``shard + 1``) and a terminal loss drops the worker from *that
+        shard's* round only. ``None`` keeps the exact unsharded streams.
         """
         if self.envelope is None:
             return 0.0, True
         lf = self.link_faults
         transfer_s = self.net.latency_s + 8.0 * float(nbytes) / self.net.bandwidth_bps
-        out = self.envelope.send(worker, lf.ps_rank, self._step, transfer_s)
+        msg = 0 if shard is None else int(shard) + 1
+        out = self.envelope.send(worker, lf.ps_rank, self._step, transfer_s, msg)
         if out.attempts > 1 or not out.delivered:
             kind = (
                 "down" if lf.link_down(worker, lf.ps_rank, self._step) else "loss"
@@ -330,11 +489,12 @@ class SimGroup:
             self._record_link_fault(worker, lf.ps_rank, kind)
             tr = obs.active()
             if tr is not None:
+                extra = {} if shard is None else {"shard": int(shard)}
                 tr.emit(
                     "retry", step=self._step, worker=worker,
                     src=worker, dst=lf.ps_rank, op="push",
                     attempts=out.attempts, wait_s=out.wait_s,
-                    delivered=out.delivered,
+                    delivered=out.delivered, **extra,
                 )
         self.retry_wait_s += out.wait_s
         return out.wait_s + out.dup_extra_s, out.delivered
@@ -374,13 +534,21 @@ class SimGroup:
 
     # -- tracing ----------------------------------------------------------
     def _trace(
-        self, op: str, payload: float, counted: int, ranks: int, seconds: float
+        self,
+        op: str,
+        payload: float,
+        counted: int,
+        ranks: int,
+        seconds: float,
+        **extra,
     ) -> None:
         """Emit one ``collective`` event when a tracer is installed.
 
         ``bytes`` is exactly the amount this operation added to
         :attr:`bytes_synced`, so the trace-wide sum of event ``bytes``
         equals the counter — the invariant the property tests pin down.
+        Sharded rounds pass ``shard=s``; unsharded events carry no extra
+        keys (trace byte-identity).
         """
         tr = obs.active()
         if tr is not None:
@@ -391,6 +559,7 @@ class SimGroup:
                 bytes=float(counted),
                 ranks=ranks,
                 seconds=seconds,
+                **extra,
             )
 
     # -- checkpointing ----------------------------------------------------
@@ -412,12 +581,29 @@ class SimGroup:
                 "retry_wait_s": self.retry_wait_s,
                 "partition_active": self._partition_active,
             }
+        if self.shard_spec is not None:
+            # Geometry and the degradation ledger — shard absences are
+            # transient within a step and rounds always complete before a
+            # checkpoint is cut.
+            state["shard_bounds"] = list(self.shard_spec.bounds)
+            state["degraded_shard_rounds"] = self.degraded_shard_rounds
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        saved = state.get("shard_bounds")
+        ours = None if self.shard_spec is None else list(self.shard_spec.bounds)
+        if saved is not None and ours is not None and list(saved) != ours:
+            raise ValueError(
+                f"shard layout mismatch: checkpoint bounds {list(saved)} "
+                f"vs group {ours}"
+            )
         self.bytes_synced = int(state["bytes_synced"])
         self.n_syncs = int(state["n_syncs"])
         self.n_allgathers = int(state["n_allgathers"])
+        if self.shard_spec is not None:
+            self.degraded_shard_rounds = int(
+                state.get("degraded_shard_rounds", 0)
+            )
         if self.envelope is not None and "net" in state:
             net = state["net"]
             self.envelope.load_state_dict(net["envelope"])

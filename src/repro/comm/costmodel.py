@@ -46,6 +46,47 @@ def ps_sync_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
     return 2.0 * (intra + inter)  # push + pull
 
 
+def sharded_ps_sync_time(
+    shard_nbytes, ranks_per_shard, net: NetworkModel
+) -> float:
+    """Full sync round over a sharded parameter server.
+
+    ``shard_nbytes[s]`` is shard ``s``'s payload and ``ranks_per_shard[s]``
+    the number of workers contributing to that shard's round (a degraded
+    shard round covers fewer). Each shard is owned by its own shard server
+    on its own NIC, so the ``S`` per-shard push–pull rounds proceed **in
+    parallel** and the round costs the slowest shard:
+
+        max_s ps_sync_time(b_s, k_s) + (S_active − 1) · α
+
+    The trailing term is the per-shard coordination latency — completing a
+    round now requires one completion message per *extra* shard server, so
+    sharding is never charged as entirely free. A shard with zero
+    contributing ranks is skipped (its round simply does not run). With one
+    shard this reduces exactly to :func:`ps_sync_time`.
+    """
+    shard_nbytes = list(shard_nbytes)
+    ranks_per_shard = list(ranks_per_shard)
+    if len(shard_nbytes) != len(ranks_per_shard):
+        raise ValueError(
+            f"{len(shard_nbytes)} shard payloads vs "
+            f"{len(ranks_per_shard)} rank counts"
+        )
+    if not shard_nbytes:
+        raise ValueError("need at least one shard")
+    times = [
+        ps_sync_time(b, k, net)
+        for b, k in zip(shard_nbytes, ranks_per_shard)
+        if k >= 1
+    ]
+    if not times or max(times) == 0.0:
+        # All shards skipped, or every shard has a single rank — the
+        # unsharded convention is that a 1-worker "round" is free, and the
+        # coordination term must not make the sharded analog cost more.
+        return 0.0
+    return max(times) + (len(times) - 1) * net.latency_s
+
+
 def ring_allreduce_time(nbytes: float, n_workers: int, net: NetworkModel) -> float:
     """Bandwidth-optimal ring allreduce: ``2(N-1)/N`` payload + 2(N-1) hops."""
     if n_workers < 1:

@@ -182,13 +182,18 @@ class CommEnvelope:
             (1.0 - a) * self.rtt_ewma + a * rtt
         )
 
-    def send(self, src: int, dst: int, step: int, transfer_s: float) -> SendOutcome:
+    def send(
+        self, src: int, dst: int, step: int, transfer_s: float, msg: int = 0
+    ) -> SendOutcome:
         """Deliver one message, retrying through faults.
 
         ``transfer_s`` is the fault-free cost-model time for the payload;
-        the link's delay factor scales it. Returns a :class:`SendOutcome`
-        — the caller decides whether a non-delivery degrades the round or
-        raises :class:`CollectiveTimeoutError`.
+        the link's delay factor scales it. ``msg`` namespaces independent
+        messages sharing a ``(src, dst, step)`` key — the sharded PS push
+        path sends one message per shard and each must draw its own fate
+        (0, the default, keeps the exact pre-sharding streams). Returns a
+        :class:`SendOutcome` — the caller decides whether a non-delivery
+        degrades the round or raises :class:`CollectiveTimeoutError`.
         """
         self.n_sends += 1
         f = self.faults
@@ -198,11 +203,11 @@ class CommEnvelope:
         wait = 0.0
         for attempt in range(1, self.policy.max_attempts + 1):
             down = f.link_down(src, dst, step)
-            lost = down or f.message_lost(src, dst, step, attempt - 1)
+            lost = down or f.message_lost(src, dst, step, attempt - 1, msg)
             if not lost:
                 elapsed += effective
                 self._observe(effective)
-                dup = f.message_duplicated(src, dst, step, attempt - 1)
+                dup = f.message_duplicated(src, dst, step, attempt - 1, msg)
                 dup_extra = effective if dup else 0.0
                 if dup:
                     self.n_dups += 1
@@ -221,7 +226,7 @@ class CommEnvelope:
             wait += t_out
             if attempt < self.policy.max_attempts:
                 self.n_retries += 1
-                u = f.jitter_uniform(src, dst, step, attempt - 1)
+                u = f.jitter_uniform(src, dst, step, attempt - 1, msg)
                 b = self.policy.backoff(attempt, u)
                 elapsed += b
                 wait += b

@@ -113,11 +113,24 @@ class LinkFaultModel:
         """Pseudo-rank used to key PS↔worker links."""
         return self.n_workers
 
-    def _rng(self, src: int, dst: int, step: int, salt: int, attempt: int = 0):
+    def _rng(
+        self,
+        src: int,
+        dst: int,
+        step: int,
+        salt: int,
+        attempt: int = 0,
+        msg: int = 0,
+    ):
         a, b = (src, dst) if src <= dst else (dst, src)
-        return np.random.default_rng(
-            np.random.SeedSequence([self.seed, a, b, step, salt, attempt])
-        )
+        # ``msg`` namespaces multiple independent messages on the same link
+        # in the same step (one per parameter-server shard). It is appended
+        # only when nonzero so every pre-sharding draw keeps its exact
+        # stream — the byte-identity contract for unsharded runs.
+        key = [self.seed, a, b, step, salt, attempt]
+        if msg:
+            key.append(msg)
+        return np.random.default_rng(np.random.SeedSequence(key))
 
     # -- administrative link state -------------------------------------
 
@@ -202,26 +215,32 @@ class LinkFaultModel:
                 factor *= d.factor
         return factor
 
-    def message_lost(self, src: int, dst: int, step: int, attempt: int) -> bool:
+    def message_lost(
+        self, src: int, dst: int, step: int, attempt: int, msg: int = 0
+    ) -> bool:
         """Keyed Bernoulli draw: is this attempt's message dropped?"""
         p = self.loss_prob(src, dst, step)
         if p <= 0.0:
             return False
-        u = self._rng(src, dst, step, self._SALT_LOSS, attempt).random()
+        u = self._rng(src, dst, step, self._SALT_LOSS, attempt, msg).random()
         return bool(u < p)
 
-    def message_duplicated(self, src: int, dst: int, step: int, attempt: int) -> bool:
+    def message_duplicated(
+        self, src: int, dst: int, step: int, attempt: int, msg: int = 0
+    ) -> bool:
         """Keyed Bernoulli draw: does this attempt spawn a duplicate?"""
         p = self.dup_prob(src, dst, step)
         if p <= 0.0:
             return False
-        u = self._rng(src, dst, step, self._SALT_DUP, attempt).random()
+        u = self._rng(src, dst, step, self._SALT_DUP, attempt, msg).random()
         return bool(u < p)
 
-    def jitter_uniform(self, src: int, dst: int, step: int, attempt: int) -> float:
+    def jitter_uniform(
+        self, src: int, dst: int, step: int, attempt: int, msg: int = 0
+    ) -> float:
         """Keyed uniform [0, 1) draw for backoff jitter."""
         return float(
-            self._rng(src, dst, step, self._SALT_JITTER, attempt).random()
+            self._rng(src, dst, step, self._SALT_JITTER, attempt, msg).random()
         )
 
 

@@ -146,6 +146,40 @@ def bucketed_schedule(
     return _overlapped(buckets, backward_time, net, fracs, loss_p)
 
 
+def sharded_schedule(
+    sizes: Sequence[int],
+    backward_time: float,
+    net: NetworkModel,
+    n_shards: int,
+    loss_p: float = 0.0,
+) -> ScheduleResult:
+    """Fused send split across ``n_shards`` parallel PS shard links.
+
+    The full backward completes, then one message per shard leaves
+    concurrently (each shard server has its own ingress), so the comm tail
+    is the *slowest shard's* transfer plus one coordination latency per
+    extra shard — the schedule-level analog of
+    :func:`repro.comm.costmodel.sharded_ps_sync_time`. Shard payloads come
+    from the same layer-aligned geometry the live path uses
+    (:meth:`repro.comm.sharding.ShardSpec.from_layers` over the backward-
+    order sizes), so the modelled split matches what a sharded run ships.
+    With one shard this is exactly :func:`fused_schedule`.
+    """
+    from repro.comm.sharding import ShardSpec
+
+    if not sizes:
+        return ScheduleResult(backward_time, 0.0, 0)
+    spec = ShardSpec.from_layers([int(s) for s in sizes], n_shards)
+    payloads = spec.int_payloads(float(sum(sizes)))
+    tail = max(_transfer(float(b), net, loss_p) for b in payloads)
+    tail += (spec.n_shards - 1) * net.latency_s
+    return ScheduleResult(
+        total_time=backward_time + tail,
+        comm_tail=tail,
+        n_messages=spec.n_shards,
+    )
+
+
 def compare_schedules(
     model: Module,
     backward_time: float,

@@ -17,6 +17,7 @@ from repro.comm.envelope import RetryPolicy
 from repro.cluster.health import HealthTracker
 from repro.comm.collectives import SimGroup
 from repro.comm.network import LinkFaultModel, NetworkModel, make_link_faults
+from repro.comm.sharding import ShardSpec
 from repro.core.robust import AGGREGATORS, Aggregator, make_aggregator
 
 
@@ -108,6 +109,17 @@ class ClusterConfig:
     trim_f: int = 1
     #: Norm cap multiplier for ``norm_clip`` (cap = factor × median norm).
     clip_factor: float = 3.0
+    #: Number of parameter-server shards. 1 (the default) disables sharding
+    #: entirely — runs are byte-identical to builds without the subsystem.
+    #: With ``S > 1`` the flat parameter vector is partitioned into ``S``
+    #: contiguous layer-aligned shards (see :mod:`repro.comm.sharding`)
+    #: served by independent shard servers in parallel; requires the
+    #: ``"ps"`` topology. The ``REPRO_PS_SHARDS`` environment variable
+    #: overrides the default, so a whole test/CI run can be switched to a
+    #: sharded server without touching call sites.
+    ps_shards: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_PS_SHARDS", "1"))
+    )
     #: Enable per-worker health tracking and quarantine
     #: (:class:`repro.cluster.health.HealthTracker`). Off by default —
     #: health-off runs are byte-identical to builds without the subsystem.
@@ -168,6 +180,13 @@ class ClusterConfig:
             raise ValueError(f"trim_f must be >= 0, got {self.trim_f}")
         if self.clip_factor <= 0:
             raise ValueError(f"clip_factor must be > 0, got {self.clip_factor}")
+        if self.ps_shards < 1:
+            raise ValueError(f"ps_shards must be >= 1, got {self.ps_shards}")
+        if self.ps_shards > 1 and self.topology != "ps":
+            raise ValueError(
+                f"ps_shards > 1 requires the 'ps' topology (shards are "
+                f"parameter-server endpoints), got topology={self.topology!r}"
+            )
         if self.health_threshold <= 0:
             raise ValueError(
                 f"health_threshold must be > 0, got {self.health_threshold}"
@@ -233,7 +252,19 @@ class ClusterConfig:
             jitter=self.retry_jitter,
         )
 
-    def make_group(self, aggregator: Optional[Aggregator] = None) -> SimGroup:
+    def make_shard_spec(self, layer_sizes) -> Optional[ShardSpec]:
+        """Shard geometry over the model's tensor sizes, or ``None`` with
+        ``ps_shards == 1`` — callers short-circuit on ``None`` so unsharded
+        runs never touch the sharding code path at all."""
+        if self.ps_shards <= 1:
+            return None
+        return ShardSpec.from_layers(layer_sizes, self.ps_shards)
+
+    def make_group(
+        self,
+        aggregator: Optional[Aggregator] = None,
+        shard_spec: Optional[ShardSpec] = None,
+    ) -> SimGroup:
         link_faults = self.make_link_faults()
         return SimGroup(
             self.n_workers,
@@ -242,6 +273,7 @@ class ClusterConfig:
             aggregator=aggregator,
             link_faults=link_faults,
             retry_policy=self.make_retry_policy() if link_faults else None,
+            shard_spec=shard_spec,
         )
 
     def make_executor(self) -> WorkerExecutor:

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro import obs
 from repro.cluster.faults import QuorumLostError, StepFaults
-from repro.cluster.server import ParameterServer
+from repro.cluster.server import ParameterServer, ShardedParameterServer
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
 from repro.optim.schedules import ConstantLR, LRSchedule
@@ -99,7 +99,13 @@ class DistributedTrainer:
         # and the PS; ``None`` (aggregator="mean") keeps both on the exact
         # legacy mean arithmetic.
         self.aggregator = cluster.make_aggregator()
-        self.group = cluster.make_group(self.aggregator)
+        # Shard geometry over the model's tensor sizes (registration order
+        # matches the flat arena layout); ``None`` with ps_shards == 1 —
+        # the unsharded fast path every default run takes.
+        self.shard_spec = cluster.make_shard_spec(
+            [int(p.data.size) for p in workers[0].model.parameters()]
+        )
+        self.group = cluster.make_group(self.aggregator, shard_spec=self.shard_spec)
         self.compute = cluster.make_compute()
         self.executor = cluster.make_executor()
         # Stateful backends need the full group before the first compute
@@ -107,9 +113,16 @@ class DistributedTrainer:
         # per-worker events). The process backend also rebinds the arenas
         # to shared memory here, so do it before anything else takes views.
         self.executor.bind(self.workers)
-        self.server = ParameterServer(
-            workers[0].get_params(copy=False), aggregator=self.aggregator
-        )
+        if self.shard_spec is not None:
+            self.server = ShardedParameterServer(
+                workers[0].get_params(copy=False),
+                self.shard_spec,
+                aggregator=self.aggregator,
+            )
+        else:
+            self.server = ParameterServer(
+                workers[0].get_params(copy=False), aggregator=self.aggregator
+            )
         self.schedule = schedule if schedule is not None else ConstantLR(0.01)
         model = workers[0].model
         self.comm_bytes = (
@@ -142,6 +155,11 @@ class DistributedTrainer:
         # health tracker's straggle signal.
         self._last_compute_times: Optional[np.ndarray] = None
         self._wire_lies: Dict[int, np.ndarray] = {}
+        # Sharded push losses of the step in flight: shard -> worker ids
+        # whose uplink message for that shard was terminally lost. Set by
+        # :meth:`upload_penalty`, converted to round positions and handed
+        # to the group/server by :meth:`wire_updates`.
+        self._pending_shard_lost: Dict[int, set] = {}
         # In-memory copy of the latest checkpoint; rejoining workers
         # restore their rank state from it (crash-recovery semantics).
         self._latest_checkpoint: Optional[Dict] = None
@@ -519,7 +537,24 @@ class DistributedTrainer:
         garbage regardless of protocol phase); adversarially corrupted
         workers' entries are replaced with the hostile vector fabricated
         in :meth:`apply_corruption`. Identity when no lies are active.
+
+        This is also where sharded push losses land: every trainer calls
+        ``wire_updates`` with the round's final uploader list immediately
+        before aggregating, so worker ids recorded by
+        :meth:`upload_penalty` are converted to positions in ``wids`` here
+        and installed on the group and the sharded server for the round
+        about to run.
         """
+        if self.shard_spec is not None and self._pending_shard_lost:
+            absences = {}
+            for s, gone in self._pending_shard_lost.items():
+                positions = {i for i, w in enumerate(wids) if w in gone}
+                if positions:
+                    absences[s] = positions
+            self._pending_shard_lost = {}
+            self.group.set_shard_absences(absences)
+            if isinstance(self.server, ShardedParameterServer):
+                self.server.set_shard_absences(absences)
         if not self._wire_lies:
             return list(vectors)
         return [self._wire_lies.get(wid, v) for wid, v in zip(wids, vectors)]
@@ -542,7 +577,16 @@ class DistributedTrainer:
         degradation path worker-level drop faults take. (Ring/tree
         schedules handle link faults inside the collective itself, where a
         dead link heals or raises ``CollectiveTimeoutError``.)
+
+        With a **sharded** PS, each uploader sends one enveloped message
+        per shard (independent loss fates via the envelope's ``msg`` key).
+        A terminally lost shard message drops the worker from *that
+        shard's* round only — recorded in :attr:`_pending_shard_lost` and
+        consumed by :meth:`wire_updates` — never from the whole sync, so
+        ``lost`` stays empty on that path. Per-worker retry waits are the
+        max over its parallel shard streams.
         """
+        self._pending_shard_lost = {}
         if not self.faults.active and self.net_faults is None:
             return 0.0, []
         extra = 0.0
@@ -569,22 +613,51 @@ class DistributedTrainer:
         if self.net_faults is not None and self.group.topology.name == "ps":
             net_extra = 0.0
             already = set(lost)
-            for wid in uploaders:
-                if wid in already:
-                    continue
-                wait_s, delivered = self.group.push_outcome(wid, self.comm_bytes)
-                if not delivered:
-                    lost.append(wid)
-                    self._record_fault(
-                        FaultRecord(
-                            step=step,
-                            worker=wid,
-                            kind="link_drop",
-                            detail={"wait_s": float(wait_s)},
+            if self.shard_spec is not None:
+                shard_bytes = self.shard_spec.int_payloads(self.comm_bytes)
+                for wid in uploaders:
+                    if wid in already:
+                        continue
+                    worker_wait = 0.0
+                    for s, b in enumerate(shard_bytes):
+                        wait_s, delivered = self.group.push_outcome(
+                            wid, b, shard=s
                         )
-                    )
-                else:
-                    net_extra = max(net_extra, wait_s)
+                        if not delivered:
+                            self._pending_shard_lost.setdefault(s, set()).add(wid)
+                            self._record_fault(
+                                FaultRecord(
+                                    step=step,
+                                    worker=wid,
+                                    kind="link_drop",
+                                    detail={
+                                        "shard": s,
+                                        "wait_s": float(wait_s),
+                                    },
+                                )
+                            )
+                        else:
+                            # Shard streams run in parallel; the worker's
+                            # push phase ends with its slowest stream.
+                            worker_wait = max(worker_wait, wait_s)
+                    net_extra = max(net_extra, worker_wait)
+            else:
+                for wid in uploaders:
+                    if wid in already:
+                        continue
+                    wait_s, delivered = self.group.push_outcome(wid, self.comm_bytes)
+                    if not delivered:
+                        lost.append(wid)
+                        self._record_fault(
+                            FaultRecord(
+                                step=step,
+                                worker=wid,
+                                kind="link_drop",
+                                detail={"wait_s": float(wait_s)},
+                            )
+                        )
+                    else:
+                        net_extra = max(net_extra, wait_s)
             extra += net_extra
         return extra, lost
 

@@ -131,6 +131,18 @@ def render_run_dashboard(tracer) -> str:
                 ],
             )
         )
+    shards = views.shard_totals(events)
+    if shards:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["shard", "rounds", "bytes", "sim_seconds", "degraded"],
+                [
+                    [f"s{s}", t["rounds"], t["bytes"], t["seconds"], t["degraded"]]
+                    for s, t in sorted(shards.items())
+                ],
+            )
+        )
     sim_times = [e.data.get("sim_time", 0.0) for e in steps]
     lines.append("")
     lines.append(f"step sim_time: [{sparkline(sim_times)}]")

@@ -61,6 +61,7 @@ EVENT_TYPES = (
     "retry",            # enveloped message retried: attempts + wait charged
     "reroute",          # collective healed around dead links (mode/detail)
     "partition_detected",  # network partition onset: groups + majority side
+    "shard_round",      # sharded PS round summary: n_shards/active/seconds
 )
 
 #: Aggregation kinds carried by ``aggregation`` events.
@@ -226,6 +227,16 @@ class Tracer:
             m.inc("net.link_faults")
         elif ev.etype == "partition_detected":
             m.inc("net.partitions")
+        elif ev.etype == "shard_round":
+            # Round summary only — its ``bytes`` recaps the per-shard
+            # ``collective`` events (which already fed ``comm.bytes``), so
+            # counting it here would double the ledger.
+            m.inc("comm.shard_rounds")
+            m.inc(
+                "comm.degraded_shard_rounds",
+                float(d.get("n_degraded", 0) or 0),
+            )
+            m.observe("shard.round_seconds", float(d.get("seconds", 0.0)))
 
     # -- access / persistence ---------------------------------------------
     @property

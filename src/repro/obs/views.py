@@ -208,3 +208,55 @@ def collective_totals(events: Sequence[TraceEvent]) -> Dict[str, Dict[str, float
         tot["bytes"] += float(e.data.get("bytes", 0.0))
         tot["seconds"] += float(e.data.get("seconds", 0.0))
     return out
+
+
+def shard_totals(events: Sequence[TraceEvent]) -> Dict[int, Dict[str, float]]:
+    """Per-shard traffic over a sharded-PS run: rounds, bytes, seconds and
+    degraded (reduced-contributor) rounds, keyed by shard index.
+
+    Empty for unsharded runs — only ``collective`` events carrying a
+    ``shard`` field contribute, so the dashboard's shard table appears
+    exactly when sharding ran.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    ranks_seen: Dict[int, float] = {}
+    for e in events_of_type(events, "collective"):
+        shard = e.data.get("shard")
+        if shard is None:
+            continue
+        s = int(shard)
+        tot = out.setdefault(
+            s, {"rounds": 0.0, "bytes": 0.0, "seconds": 0.0, "degraded": 0.0}
+        )
+        tot["rounds"] += 1.0
+        tot["bytes"] += float(e.data.get("bytes", 0.0))
+        tot["seconds"] += float(e.data.get("seconds", 0.0))
+        k = float(e.data.get("ranks", 0.0))
+        full = ranks_seen.get(s)
+        ranks_seen[s] = max(k, full if full is not None else k)
+    # A round is degraded when its contributor count fell below the shard's
+    # observed maximum (the full cohort for that run).
+    for e in events_of_type(events, "collective"):
+        shard = e.data.get("shard")
+        if shard is None:
+            continue
+        s = int(shard)
+        if float(e.data.get("ranks", 0.0)) < ranks_seen.get(s, 0.0):
+            out[s]["degraded"] += 1.0
+    return out
+
+
+def shard_round_series(events: Sequence[TraceEvent]) -> Optional[np.ndarray]:
+    """Per-step sharded round seconds (sum of ``shard_round`` events), or
+    ``None`` when the run was unsharded."""
+    rounds = events_of_type(events, "shard_round")
+    if not rounds:
+        return None
+    rng = _step_range(events)
+    if rng is None:
+        return None
+    series = np.zeros(len(rng), dtype=np.float64)
+    for e in rounds:
+        if e.step is not None and e.step in rng:
+            series[e.step - rng.start] += float(e.data.get("seconds", 0.0))
+    return series

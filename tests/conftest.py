@@ -1,6 +1,20 @@
-"""Shared fixtures: tiny clusters that keep every test fast."""
+"""Shared fixtures: tiny clusters that keep every test fast.
+
+Also hosts a fallback test-order randomizer: when ``pytest-randomly`` is
+installed it owns shuffling (and registers the same ``--randomly-seed``
+option, so this stub stays out of the way); when it is not — this offline
+image does not ship it — a minimal reimplementation shuffles the collected
+items and reseeds the global RNGs per test, so ordering/RNG-leak bugs
+surface locally and in CI either way. CI pins the seed for reproducible
+legs; an unpinned run draws one and prints it in the pytest header so a
+failing order can be replayed with ``--randomly-seed=<N>``.
+"""
 
 from __future__ import annotations
+
+import random
+import time
+import zlib
 
 import numpy as np
 import pytest
@@ -11,6 +25,65 @@ from repro.core.evaluation import accuracy_eval
 from repro.data import BatchLoader, build_dataset, selsync_partition
 from repro.nn.models import build_model
 from repro.optim import SGD
+
+try:  # the real plugin wins when present
+    import pytest_randomly  # noqa: F401
+
+    _HAVE_RANDOMLY = True
+except ImportError:
+    _HAVE_RANDOMLY = False
+
+
+if not _HAVE_RANDOMLY:
+
+    def pytest_addoption(parser):
+        parser.addoption(
+            "--randomly-seed",
+            action="store",
+            default="default",
+            help=(
+                "Shuffle seed for test ordering (int, or 'default' to draw "
+                "one per run). Mirrors pytest-randomly's option."
+            ),
+        )
+        parser.addoption(
+            "--randomly-dont-shuffle",
+            action="store_true",
+            default=False,
+            help="Keep collection order (still reseeds RNGs per test).",
+        )
+
+    def _shuffle_seed(config) -> int:
+        cached = getattr(config, "_shuffle_seed", None)
+        if cached is None:
+            raw = config.getoption("--randomly-seed")
+            cached = int(time.time()) if raw == "default" else int(raw)
+            config._shuffle_seed = cached
+        return cached
+
+    def pytest_report_header(config):
+        return f"Using --randomly-seed={_shuffle_seed(config)} (fallback shuffler)"
+
+    def pytest_collection_modifyitems(config, items):
+        if config.getoption("--randomly-dont-shuffle"):
+            return
+        random.Random(_shuffle_seed(config)).shuffle(items)
+
+    @pytest.fixture(autouse=True)
+    def _reseed_global_rngs(request):
+        """Per-test deterministic reseed of the *global* RNG state.
+
+        Any test that leans on ``np.random``/``random`` without seeding
+        them gets a seed derived from its own nodeid — so it fails the
+        same way regardless of which tests ran before it, instead of
+        silently inheriting a neighbour's RNG cursor.
+        """
+        seed = _shuffle_seed(request.config) ^ zlib.crc32(
+            request.node.nodeid.encode()
+        )
+        random.seed(seed)
+        np.random.seed(seed % 2**32)
+        yield
 
 
 @pytest.fixture

@@ -181,9 +181,13 @@ def test_mean_equivalence_without_outliers(vectors):
         atol=1e-9,
     )
     norms = [float(np.linalg.norm(v)) for v in vectors]
-    if float(np.median(norms)) > 0.0:
+    if float(np.median(norms)) > 0.0 and (
+        max(norms) <= 1e12 * float(np.median(norms))
+    ):
         # Degenerate cohorts (median norm 0) clip everyone to zero by
-        # design; equivalence only holds with a usable cap.
+        # design, and a cohort whose largest norm exceeds cap = factor ×
+        # median genuinely gets clipped (e.g. a subnormal median norm) —
+        # equivalence only holds when the cap is above every norm.
         np.testing.assert_allclose(
             np.asarray(NormClipAggregator(factor=1e12).reduce(vectors)),
             ref,

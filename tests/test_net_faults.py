@@ -251,6 +251,9 @@ def test_ring_partition_reroutes_and_majority_continues(tmp_path):
             "net_fault_spec": RING_PARTITION,
             "topology": "ring",
             "min_quorum": 3,
+            # Sharding is PS-only; pin it off so REPRO_PS_SHARDS legs
+            # don't trip the ring-topology validation.
+            "ps_shards": 1,
         },
     )
     reroutes = views.events_of_type(tracer.events, "reroute")
@@ -285,6 +288,7 @@ def test_partition_under_supervisor_records_recovery(tmp_path):
         flops_per_sample=1e6,
         net_fault_spec=RING_PARTITION,
         topology="ring",
+        ps_shards=1,  # sharding is PS-only (see the reroute test above)
     )
     trainer = BSPTrainer(_workers(), cluster)
     sup = RecoverySupervisor(max_recoveries=2)

@@ -44,14 +44,20 @@ def _workers():
     )
 
 
-def _run(trace_path=None, executor="serial", **cfg_kw):
-    """One fresh leg: rebuilt workload, same seeds, optional tracing."""
+def _run(trace_path=None, executor="serial", ps_shards=1, **cfg_kw):
+    """One fresh leg: rebuilt workload, same seeds, optional tracing.
+
+    ``ps_shards`` is pinned (default 1) rather than inherited from the
+    environment: the golden skeletons below are shard-layout-specific, so
+    a ``REPRO_PS_SHARDS`` override must not silently reshape them.
+    """
     workers = _workers()
     cluster = ClusterConfig(
         n_workers=N_WORKERS,
         comm_bytes=1e6,
         flops_per_sample=1e6,
         executor=executor,
+        ps_shards=ps_shards,
     )
     trainer = SelSyncTrainer(workers, cluster, delta=0.1)
     tracer = None
@@ -63,6 +69,22 @@ def _run(trace_path=None, executor="serial", **cfg_kw):
     if tracer is not None:
         tracer.close()
     return workers, res
+
+
+def _run_traced(trace_path, ps_shards=1):
+    """Like :func:`_run` but keeps the trainer and tracer for ledger checks."""
+    workers = _workers()
+    cluster = ClusterConfig(
+        n_workers=N_WORKERS,
+        comm_bytes=1e6,
+        flops_per_sample=1e6,
+        ps_shards=ps_shards,
+    )
+    trainer = SelSyncTrainer(workers, cluster, delta=0.1)
+    tracer = Tracer(path=trace_path, name="golden")
+    res = trainer.run(TrainConfig(n_steps=N_STEPS, eval_fn=None, tracer=tracer))
+    tracer.close()
+    return trainer, tracer, res
 
 
 def test_trace_byte_identical_across_executors(tmp_path):
@@ -155,3 +177,93 @@ def test_golden_step_skeleton(tmp_path):
         assert step.count(("delta_eval", 0)) == 1
         assert [t for t, w in step if w == -1][0] == "step_begin"
         assert "step_end" in [t for t, w in step]
+
+
+def test_golden_sharded_step_skeleton(tmp_path):
+    """Pin the event skeleton of a sharded SelSync step.
+
+    With ``ps_shards=2`` the single parameter-averaging ``collective``
+    becomes one per-shard ``collective`` (each tagged ``shard=s`` and
+    carrying exactly the bytes it added to the ledger) followed by one
+    ``shard_round`` summary. Everything else — vote round, aggregation
+    record, per-worker events — is untouched by sharding.
+    """
+    import json
+
+    p = tmp_path / "g2.jsonl"
+    _run(trace_path=p, ps_shards=2)
+    recs = [json.loads(line) for line in event_lines(p)]
+    step0 = [(r["etype"], r["worker"]) for r in recs if r["step"] == 0]
+    assert step0 == [
+        ("step_begin", -1),
+        ("compute_phase", -1),
+        ("collective", -1),     # allgather_flags (unsharded vote round)
+        ("sync_decision", -1),
+        ("collective", -1),     # PA traffic, shard 0
+        ("collective", -1),     # PA traffic, shard 1
+        ("shard_round", -1),    # round summary (max-over-shards timing)
+        ("aggregation", -1),
+        ("step_end", -1),
+        ("exec_task", 0),
+        ("delta_eval", 0),
+        ("exec_task", 1),
+        ("delta_eval", 1),
+        ("exec_task", 2),
+        ("delta_eval", 2),
+    ]
+    # The per-shard collectives split the full payload without losing a
+    # byte, and each is tagged with its shard index.
+    shard_evs = [
+        r for r in recs
+        if r["step"] == 0 and r["etype"] == "collective"
+        and "shard" in r["data"]
+    ]
+    assert [r["data"]["shard"] for r in shard_evs] == [0, 1]
+    assert sum(r["data"]["payload"] for r in shard_evs) == 1e6
+    for r in shard_evs:
+        assert r["data"]["bytes"] == int(r["data"]["payload"]) * N_WORKERS
+    # Every synced step has exactly one shard_round; local steps have none.
+    for s in range(N_STEPS):
+        step = [r for r in recs if r["step"] == s]
+        synced = any(
+            r["etype"] == "sync_decision" and r["data"].get("synced")
+            for r in step
+        )
+        rounds = [r for r in step if r["etype"] == "shard_round"]
+        assert len(rounds) == (1 if synced else 0)
+        if rounds:
+            d = rounds[0]["data"]
+            assert d["n_shards"] == 2 and d["n_degraded"] == 0
+
+
+def test_trace_bytes_reconcile_three_ways(tmp_path):
+    """trace events == metrics counter == cost-model charge, any shard count.
+
+    The ``bytes`` field of every ``collective`` event is defined as exactly
+    what that operation added to ``SimGroup.bytes_synced``; the metrics tap
+    sums those same fields into ``comm.bytes``. This pins the three ledgers
+    to each other for both the unsharded and the sharded path (where
+    ``shard_round`` summaries must recap — not double-count — the bytes).
+    """
+    import json
+
+    for shards in (1, 2):
+        p = tmp_path / f"ledger_s{shards}.jsonl"
+        trainer, tracer, _ = _run_traced(p, ps_shards=shards)
+        recs = [json.loads(line) for line in event_lines(p)]
+        ev_bytes = sum(
+            r["data"]["bytes"] for r in recs if r["etype"] == "collective"
+        )
+        assert ev_bytes == tracer.metrics.get("comm.bytes")
+        assert ev_bytes == float(trainer.group.bytes_synced)
+        rounds = [r for r in recs if r["etype"] == "shard_round"]
+        if shards == 1:
+            assert not rounds
+        else:
+            # Each round's summary bytes recap its per-shard collectives.
+            shard_bytes = sum(
+                r["data"]["bytes"] for r in recs
+                if r["etype"] == "collective" and "shard" in r["data"]
+            )
+            assert sum(r["data"]["bytes"] for r in rounds) == shard_bytes
+            assert tracer.metrics.get("events.shard_round") == len(rounds)

@@ -1,0 +1,247 @@
+"""Differential tests: sharded vs unsharded parameter-server runs.
+
+The sharding contract, exercised end-to-end on BSP and SelSync across all
+three executor backends:
+
+* **Arithmetic is shard-count-invariant.** ``ps_shards ∈ {1, 2, 5}``
+  produce bitwise-identical final global params, worker replicas, losses
+  and sync decisions — fault-free, under worker ``crash`` faults, and
+  under link ``loss`` faults whose retries all eventually deliver (the
+  envelope's per-shard messages draw independent fates, so a *terminally*
+  lost shard push is the one mechanism that legitimately makes a sharded
+  trajectory diverge: it degrades one shard's round, which is the
+  tentpole feature, not a bug — covered separately below).
+* **Only the clock changes.** RunLog iteration records agree on every
+  field except ``sim_time``/``comm_time`` (shards served in parallel are
+  exactly a timing statement), and the sharded round is never slower.
+* **Kill-and-resume is exact.** A sharded run checkpointed, killed, and
+  resumed is bitwise identical to the uninterrupted run — per-shard server
+  state (bounds, shard versions, degraded ledger) travels through the
+  checkpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import ShardedParameterServer
+from repro.cluster.worker import build_worker_group
+from repro.comm.sharding import ShardSpec
+from repro.core import ClusterConfig, SelSyncTrainer, TrainConfig
+from repro.core.bsp import BSPTrainer
+from repro.data import ArrayDataset, BatchLoader, selsync_partition
+from repro.nn.models import build_model
+from repro.optim import SGD
+
+N_WORKERS = 3
+N_STEPS = 10
+SHARD_COUNTS = (1, 2, 5)
+EXECUTORS = ("serial", "threaded", "process")
+
+
+def _workers():
+    rng = np.random.default_rng(0)
+    ds = ArrayDataset(rng.normal(size=(60, 8)), rng.integers(0, 3, 60))
+    part = selsync_partition(60, N_WORKERS, rng=1)
+    loaders = BatchLoader.for_workers(ds, part, batch_size=8, seed=2)
+    return build_worker_group(
+        N_WORKERS,
+        lambda: build_model("mlp", in_features=8, n_classes=3, rng=5),
+        lambda m: SGD(m, lr=0.1, momentum=0.9),
+        loaders,
+    )
+
+
+def _run(method, shards, executor="serial", cluster_kw=None, **cfg_kw):
+    workers = _workers()
+    kw = dict(
+        n_workers=N_WORKERS,
+        comm_bytes=1e6,
+        flops_per_sample=1e6,
+        executor=executor,
+        ps_shards=shards,
+    )
+    kw.update(cluster_kw or {})
+    cluster = ClusterConfig(**kw)
+    if method == "selsync":
+        trainer = SelSyncTrainer(workers, cluster, delta=0.1)
+    else:
+        trainer = BSPTrainer(workers, cluster)
+    res = trainer.run(TrainConfig(n_steps=N_STEPS, eval_fn=None, **cfg_kw))
+    return trainer, res
+
+
+def _fingerprint(trainer, res):
+    """Everything that must be shard-count-invariant, as raw bytes."""
+    recs = res.log.iterations
+    return (
+        trainer.server.pull().tobytes(),
+        trainer.mean_params().tobytes(),
+        res.log.losses().tobytes(),
+        tuple((r.step, r.synced, r.grad_change) for r in recs),
+    )
+
+
+def _timing(res):
+    return [(r.sim_time, r.comm_time) for r in res.log.iterations]
+
+
+# -- shard-count invariance -------------------------------------------------
+@pytest.mark.parametrize("method", ["bsp", "selsync"])
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_params_and_decisions_identical_across_shard_counts(method, executor):
+    t1, r1 = _run(method, 1, executor=executor)
+    ref = _fingerprint(t1, r1)
+    ref_timing = _timing(r1)
+    for shards in SHARD_COUNTS[1:]:
+        tS, rS = _run(method, shards, executor=executor)
+        assert _fingerprint(tS, rS) == ref
+        # The clock is the only thing sharding changes: each step is at
+        # least as fast, and the run strictly faster overall.
+        for (s1, _), (sS, _) in zip(ref_timing, _timing(rS)):
+            assert sS <= s1 + 1e-12
+        assert rS.log.total_sim_time < r1.log.total_sim_time
+        assert isinstance(tS.server, ShardedParameterServer)
+        # The effective shard count clamps to the tensor count.
+        assert tS.shard_spec.n_shards == min(
+            shards, len(tS.workers[0].model.parameters())
+        )
+
+
+@pytest.mark.parametrize("method", ["bsp", "selsync"])
+def test_byte_ledger_identical_across_shard_counts(method):
+    t1, r1 = _run(method, 1)
+    for shards in SHARD_COUNTS[1:]:
+        tS, _ = _run(method, shards)
+        assert tS.group.bytes_synced == t1.group.bytes_synced
+        assert tS.group.n_syncs == t1.group.n_syncs
+
+
+# -- fault specs ------------------------------------------------------------
+@pytest.mark.parametrize("method", ["bsp", "selsync"])
+@pytest.mark.parametrize(
+    "cluster_kw",
+    [
+        {"fault_spec": "crash:w1@3-6", "min_quorum": 1},
+        {"net_fault_spec": "loss:p=0.05", "min_quorum": 1},
+    ],
+    ids=["crash", "loss"],
+)
+def test_identical_across_shard_counts_under_faults(method, cluster_kw):
+    """Worker crashes are shard-agnostic; a low-p lossy link retries every
+    shard push to delivery (abandonment odds ~p^5), so the arithmetic stays
+    shard-count-invariant while waits/timing differ per stream."""
+    t1, r1 = _run(method, 1, cluster_kw=cluster_kw)
+    ref = _fingerprint(t1, r1)
+    for shards in SHARD_COUNTS[1:]:
+        tS, rS = _run(method, shards, cluster_kw=cluster_kw)
+        assert _fingerprint(tS, rS) == ref
+        # No terminal shard drop happened, so no shard round degraded.
+        assert tS.server.degraded_shard_rounds == 0
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_degraded_shard_rounds_self_consistent(executor):
+    """An aggressively lossy uplink terminally drops some shard pushes:
+    the run survives (degraded shard rounds instead of lost workers), the
+    ledger moves, and the trajectory is executor-independent."""
+    kw = {"net_fault_spec": "loss:p=0.6", "min_quorum": 1, "retry_max": 1}
+    t_ref, r_ref = _run("bsp", 2, executor="serial", cluster_kw=kw)
+    # BSP aggregates through the group (GA), so the group-side ledger is
+    # the one that moves; SelSync-PA moves the server-side twin.
+    assert t_ref.group.degraded_shard_rounds > 0
+    assert np.isfinite(t_ref.server.pull()).all()
+    # Sharded degradation keeps every worker in the round: link_drop faults
+    # carry a shard index and never escalate to a whole-worker loss.
+    drops = r_ref.log.faults_of_kind("link_drop")
+    assert drops and all("shard" in f.detail for f in drops)
+    if executor != "serial":
+        t_x, r_x = _run("bsp", 2, executor=executor, cluster_kw=kw)
+        assert _fingerprint(t_x, r_x) == _fingerprint(t_ref, r_ref)
+        assert t_x.group.degraded_shard_rounds == t_ref.group.degraded_shard_rounds
+
+
+# -- kill-and-resume --------------------------------------------------------
+@pytest.mark.parametrize("method", ["bsp", "selsync"])
+@pytest.mark.parametrize("shards", [2, 5])
+def test_kill_and_resume_bitwise(tmp_path, method, shards):
+    ck_full = str(tmp_path / "full.npz")
+    ck = str(tmp_path / "kill.npz")
+    t_full, r_full = _run(
+        method, shards, checkpoint_every=5, checkpoint_path=ck_full
+    )
+    _run(
+        method,
+        shards,
+        checkpoint_every=5,
+        checkpoint_path=ck,
+        stop_after=5,
+    )
+    t_res, r_res = _run(
+        method, shards, checkpoint_every=5, checkpoint_path=ck, resume_from=ck
+    )
+    assert _fingerprint(t_res, r_res) == _fingerprint(t_full, r_full)
+    assert _timing(r_res) == _timing(r_full)
+    assert t_res.server.shard_versions == t_full.server.shard_versions
+
+
+def test_resume_rejects_mismatched_shard_layout(tmp_path):
+    ck = str(tmp_path / "ck.npz")
+    _run("bsp", 2, checkpoint_every=5, checkpoint_path=ck, stop_after=5)
+    with pytest.raises(ValueError, match="shard"):
+        _run("bsp", 5, checkpoint_every=5, checkpoint_path=ck, resume_from=ck)
+
+
+# -- server unit behavior ---------------------------------------------------
+def test_sharded_server_mean_matches_unsharded_with_absences_empty():
+    rng = np.random.default_rng(3)
+    init = rng.standard_normal(40)
+    spec = ShardSpec.from_layers([10, 10, 20], 3)
+    from repro.cluster.server import ParameterServer
+
+    plain = ParameterServer(init)
+    sharded = ShardedParameterServer(init, spec)
+    pushed = [rng.standard_normal(40) for _ in range(4)]
+    assert np.array_equal(
+        plain.aggregate_params([p.copy() for p in pushed]),
+        sharded.aggregate_params([p.copy() for p in pushed]),
+    )
+    assert sharded.shard_versions == [1, 1, 1]
+
+
+def test_sharded_server_absence_degrades_one_shard_only():
+    rng = np.random.default_rng(4)
+    init = rng.standard_normal(30)
+    spec = ShardSpec.from_layers([10, 20], 2)
+    server = ShardedParameterServer(init, spec)
+    pushed = [rng.standard_normal(30) for _ in range(3)]
+    server.set_shard_absences({1: {0}})
+    out = server.aggregate_params(pushed)
+    # Shard 0 averages all three; shard 1 averages only pushers 1 and 2.
+    np.testing.assert_array_equal(
+        out[:10], np.mean(np.stack([p[:10] for p in pushed]), axis=0)
+    )
+    np.testing.assert_array_equal(
+        out[10:], np.mean(np.stack([p[10:] for p in pushed[1:]]), axis=0)
+    )
+    assert server.degraded_shard_rounds == 1
+    assert server.shard_versions == [1, 1]
+
+
+def test_sharded_server_all_absent_shard_keeps_previous_params():
+    rng = np.random.default_rng(5)
+    init = rng.standard_normal(30)
+    spec = ShardSpec.from_layers([10, 20], 2)
+    server = ShardedParameterServer(init, spec)
+    pushed = [rng.standard_normal(30) for _ in range(2)]
+    server.set_shard_absences({0: {0, 1}})
+    out = server.aggregate_params(pushed)
+    np.testing.assert_array_equal(out[:10], init[:10])
+    assert server.shard_versions == [0, 1]
+    assert server.degraded_shard_rounds == 1
+
+
+def test_sharded_server_rejects_wrong_spec_size():
+    with pytest.raises(ValueError, match="shard spec"):
+        ShardedParameterServer(
+            np.zeros(10), ShardSpec.from_layers([4, 4], 2)
+        )
