@@ -277,6 +277,66 @@ def shard_sweep(n_steps: int, shard_counts=(1, 2, 4, 8), method: str = "bsp"):
     return out
 
 
+def elastic_sweep(n_steps: int, method: str = "selsync"):
+    """Modelled goodput: fixed 8 workers vs the comm-fraction autoscaler.
+
+    Both runs share the workload and step budget; the elastic run starts
+    at 8 workers with ``scale:4..12`` bounds and lets the ``comm`` policy
+    walk the world size. Goodput (samples per simulated second) and
+    worker-seconds (the cost side) are deterministic quantities of the
+    timing model, so the comparison cannot flake with host speed. The
+    report includes provisioning charges (boot + model pull per join), so
+    a policy that churns membership pays for it in the goodput column.
+    """
+    from repro.core import TrainConfig
+
+    out = {
+        "workload": "vgg_cifar100 (SmallVGG), data_scale=0.25",
+        "method": method,
+        "n_steps": n_steps,
+        "metric": "modelled (simulated) goodput and worker-seconds",
+        "runs": {},
+    }
+    for label, extra in (
+        ("fixed8", {}),
+        ("elastic", {"elastic_spec": "scale:4..12", "scale_policy": "comm"}),
+    ):
+        trainer = make_trainer(method, "serial", n_workers=8, cluster_extra=extra)
+        try:
+            res = trainer.run(TrainConfig(n_steps=n_steps, eval_every=n_steps))
+        finally:
+            trainer.executor.shutdown()
+        batch = trainer.workers[0].loader.batch_size
+        sim = res.log.total_sim_time
+        if trainer.elastic is not None:
+            sig = trainer.elastic.signals()
+            samples = sig["elastic.samples"]
+            worker_s = sig["elastic.worker_seconds"]
+        else:
+            samples = float(n_steps * 8 * batch)
+            worker_s = 8.0 * sim
+        out["runs"][label] = {
+            "final_world_size": len(trainer.workers),
+            "sim_time_s": round(sim, 6),
+            "samples": samples,
+            "goodput_samples_per_sim_s": round(samples / sim, 3),
+            "worker_seconds": round(worker_s, 6),
+            "cost_efficiency_samples_per_worker_s": round(samples / worker_s, 3),
+        }
+    fixed = out["runs"]["fixed8"]
+    el = out["runs"]["elastic"]
+    assert el["goodput_samples_per_sim_s"] > 0.0
+    out["goodput_ratio_elastic_vs_fixed"] = round(
+        el["goodput_samples_per_sim_s"] / fixed["goodput_samples_per_sim_s"], 3
+    )
+    out["cost_efficiency_ratio_elastic_vs_fixed"] = round(
+        el["cost_efficiency_samples_per_worker_s"]
+        / fixed["cost_efficiency_samples_per_worker_s"],
+        3,
+    )
+    return out
+
+
 def micro_flat_ops(n_params: int = 200_000, n_workers: int = 8, reps: int = 50):
     """Microbenchmark: flatten + aggregate, seed idiom vs arena idiom."""
     rng = np.random.default_rng(0)
@@ -344,8 +404,10 @@ def main(argv=None) -> int:
             "micro": micro_flat_ops(),
             "aggregator_overhead": aggregator_sweep(trials, steps_on),
             "shard_speedup": shard_sweep(4 if args.quick else 10),
+            "elastic_goodput": elastic_sweep(24 if args.quick else 40),
         }
         print(f"shard_speedup: {results['shard_speedup']['per_shard']}")
+        print(f"elastic_goodput: {results['elastic_goodput']['runs']}")
         for method in ("bsp", "selsync"):
             results["methods"][method] = {
                 "arena-serial": ab_trial(method, "serial", trials, steps_off, steps_on),

@@ -149,6 +149,30 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         help="steps a quarantined worker sits out before reinstatement",
     )
     p.add_argument(
+        "--elastic", default=None, metavar="SPEC",
+        help="elastic membership plan, e.g. "
+        "'join:+2@100,drain:w3@50,scale:4..12' (see "
+        "repro.cluster.elastic); 'off'/empty/unset keeps the run "
+        "byte-identical to a fixed-membership build",
+    )
+    p.add_argument(
+        "--scale-policy", default="none",
+        choices=["none", "goodput", "comm"],
+        help="metrics-driven autoscale policy over the live goodput/"
+        "sync-ratio/comm-fraction signals; any value other than 'none' "
+        "enables the elastic subsystem",
+    )
+    p.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help="autoscaler world-size floor (overrides the plan's "
+        "scale:MIN..MAX clause)",
+    )
+    p.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="autoscaler world-size ceiling (overrides the plan's "
+        "scale:MIN..MAX clause)",
+    )
+    p.add_argument(
         "--max-recoveries", type=int, default=None, metavar="N",
         help="wrap the run in a RecoverySupervisor: roll back to the "
         "latest checkpoint and retry up to N times on quorum loss "
@@ -204,6 +228,13 @@ def _build(args, spec: MethodSpec):
             "health": getattr(args, "health", False),
             "health_threshold": getattr(args, "health_threshold", 3.0),
             "probation": getattr(args, "probation", 20),
+            # ''/'off' mean "no elastic membership" and must behave exactly
+            # like unset (byte-identity contract; parse maps them to the
+            # empty plan, but None keeps even the config field identical).
+            "elastic_spec": getattr(args, "elastic", None) or None,
+            "scale_policy": getattr(args, "scale_policy", "none"),
+            "min_workers": getattr(args, "min_workers", None),
+            "max_workers": getattr(args, "max_workers", None),
         },
     )
 

@@ -1,6 +1,13 @@
 """Simulated training cluster: workers, parameter server, time models."""
 
 from repro.cluster.compute import ComputeModel
+from repro.cluster.elastic import (
+    ElasticContext,
+    ElasticController,
+    ElasticPlan,
+    canonical_elastic_spec,
+    parse_elastic_spec,
+)
 from repro.cluster.memory import MemoryModel, measure_activation_bytes
 from repro.cluster.worker import SimWorker
 from repro.cluster.server import ParameterServer
@@ -8,6 +15,11 @@ from repro.cluster.simclock import Event, EventQueue
 
 __all__ = [
     "ComputeModel",
+    "ElasticContext",
+    "ElasticController",
+    "ElasticPlan",
+    "canonical_elastic_spec",
+    "parse_elastic_spec",
     "MemoryModel",
     "measure_activation_bytes",
     "SimWorker",

@@ -1,0 +1,612 @@
+"""Elastic cluster membership: plan grammar, scale policies, controller.
+
+Spec grammar (comma-separated clauses, in the style of
+:mod:`repro.cluster.faults`)::
+
+    join:+K@STEP          K fresh workers join at the start of STEP
+    drain:wR@STEP         the worker at rank R drains at the start of STEP
+    scale:MIN..MAX        world-size bounds for policy-driven autoscaling
+
+Examples: ``"join:+2@100"``, ``"drain:w3@50"``,
+``"join:+2@100,drain:w3@50,scale:4..12"``.
+
+Two sources of membership change share one controller:
+
+* the **plan** — explicit join/drain clauses applied at fixed steps, and
+* the **policy** — a :class:`ScalePolicy` that reads the controller's live
+  :class:`~repro.obs.metrics.MetricsRegistry` signal stream (goodput in
+  samples per sim-second, sync ratio, communication fraction, per-rank
+  compute EWMAs) and emits scale decisions. Decisions are deterministic:
+  pure functions of ``(signals, world_size, step)``, with any tie-break
+  randomness drawn from a stream keyed on ``(seed, step)`` — never the
+  trainer RNGs — so outcomes are identical across the serial/threaded/
+  process executors and across a checkpoint/resume boundary.
+
+Worker identity: ranks are always the dense ``0..N-1`` positions of the
+current worker list (drains renumber the survivors), while every worker
+also carries a stable ``uid`` assigned at join time. ``membership`` trace
+events record both, so a timeline can follow an individual worker across
+renumberings.
+
+The controller holds no reference to workers or trainers; the mechanics of
+a membership change (joiner bootstrap, repartitioning, group/executor
+rebuilds) live in :class:`repro.core.trainer.DistributedTrainer`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+#: Fixed boot cost charged (in sim-seconds) when one or more joiners are
+#: provisioned at a step, on top of the model transfer each joiner pulls.
+PROVISION_BOOT_S = 5.0
+
+#: Steps between two policy decisions (a decision may still hold).
+DEFAULT_DECIDE_EVERY = 10
+
+#: Minimum steps between two applied membership changes — gives the signal
+#: EWMAs time to reflect the new world size before the next decision.
+DEFAULT_COOLDOWN = 10
+
+#: EWMA smoothing factor for the controller's signal stream.
+SIGNAL_ALPHA = 0.2
+
+#: Default world-size bounds when no ``scale:`` clause or CLI override is
+#: given; generous on purpose — the plan is explicit user intent.
+DEFAULT_MIN_WORKERS = 1
+DEFAULT_MAX_WORKERS = 64
+
+
+class ElasticSpecError(ValueError):
+    """A membership spec string could not be parsed."""
+
+
+# -- plan grammar ------------------------------------------------------------
+
+_JOIN_RE = re.compile(r"^join:\+(\d+)@(\d+)$")
+_DRAIN_RE = re.compile(r"^drain:w(\d+)@(\d+)$")
+_SCALE_RE = re.compile(r"^scale:(\d+)\.\.(\d+)$")
+
+_KNOWN_KINDS = ("join", "drain", "scale")
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``join:+K@STEP`` — K fresh workers join at the start of STEP."""
+
+    count: int
+    step: int
+
+    kind = "join"
+
+    def to_spec(self) -> str:
+        return f"join:+{self.count}@{self.step}"
+
+
+@dataclass(frozen=True)
+class DrainClause:
+    """``drain:wR@STEP`` — the worker at rank R (at that time) drains."""
+
+    worker: int
+    step: int
+
+    kind = "drain"
+
+    def to_spec(self) -> str:
+        return f"drain:w{self.worker}@{self.step}"
+
+
+@dataclass(frozen=True)
+class ScaleClause:
+    """``scale:MIN..MAX`` — world-size bounds for the autoscaler."""
+
+    lo: int
+    hi: int
+
+    kind = "scale"
+
+    def to_spec(self) -> str:
+        return f"scale:{self.lo}..{self.hi}"
+
+
+@dataclass(frozen=True)
+class ElasticPlan:
+    """Parsed membership plan: join/drain clauses plus optional bounds."""
+
+    joins: Tuple[JoinClause, ...] = ()
+    drains: Tuple[DrainClause, ...] = ()
+    bounds: Optional[ScaleClause] = None
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules no membership event and sets no
+        bounds — the spec was absent or blank."""
+        return not self.joins and not self.drains and self.bounds is None
+
+    def to_spec(self) -> str:
+        """Canonical spec string: joins by step, drains by (step, rank),
+        bounds last — ``parse_elastic_spec(p.to_spec()) == p``."""
+        clauses = [c.to_spec() for c in sorted(self.joins, key=lambda c: c.step)]
+        clauses += [
+            c.to_spec()
+            for c in sorted(self.drains, key=lambda c: (c.step, c.worker))
+        ]
+        if self.bounds is not None:
+            clauses.append(self.bounds.to_spec())
+        return ",".join(clauses)
+
+    def validate(self, n_workers: int) -> "ElasticPlan":
+        """Clause-level sanity checks.
+
+        Drain ranks are deliberately *not* range-checked against
+        ``n_workers``: a rank refers to the membership at the clause's
+        step, which joins (or a policy) may have grown past the initial
+        size. Out-of-range drains fail loudly when applied.
+        """
+        for c in self.joins:
+            if c.count < 1:
+                raise ElasticSpecError(
+                    f"join clause {c.to_spec()!r}: count must be >= 1"
+                )
+        if self.bounds is not None:
+            b = self.bounds
+            if b.lo < 1 or b.lo > b.hi:
+                raise ElasticSpecError(
+                    f"scale clause {b.to_spec()!r}: need 1 <= MIN <= MAX"
+                )
+        return self
+
+    def joins_at(self, step: int) -> int:
+        return sum(c.count for c in self.joins if c.step == step)
+
+    def drains_at(self, step: int) -> List[int]:
+        return sorted(c.worker for c in self.drains if c.step == step)
+
+
+def parse_elastic_spec(spec: Optional[str]) -> ElasticPlan:
+    """Parse a membership spec string; ``None``/empty/``"off"`` gives the
+    empty plan. Raises :class:`ElasticSpecError` naming the bad clause."""
+    if spec is None:
+        return ElasticPlan()
+    text = spec.strip()
+    if not text or text.lower() == "off":
+        return ElasticPlan()
+    joins: List[JoinClause] = []
+    drains: List[DrainClause] = []
+    bounds: Optional[ScaleClause] = None
+    for raw in text.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        m = _JOIN_RE.match(clause)
+        if m:
+            joins.append(JoinClause(count=int(m.group(1)), step=int(m.group(2))))
+            continue
+        m = _DRAIN_RE.match(clause)
+        if m:
+            drains.append(
+                DrainClause(worker=int(m.group(1)), step=int(m.group(2)))
+            )
+            continue
+        m = _SCALE_RE.match(clause)
+        if m:
+            if bounds is not None:
+                raise ElasticSpecError(
+                    f"duplicate scale clause {clause!r} (one scale:MIN..MAX "
+                    "per spec)"
+                )
+            bounds = ScaleClause(lo=int(m.group(1)), hi=int(m.group(2)))
+            continue
+        kind = clause.split(":", 1)[0]
+        if kind in _KNOWN_KINDS:
+            raise ElasticSpecError(
+                f"malformed {kind} clause {clause!r} (expected "
+                f"'join:+K@STEP', 'drain:wR@STEP' or 'scale:MIN..MAX')"
+            )
+        raise ElasticSpecError(
+            f"unknown membership clause kind {kind!r} in {clause!r}; "
+            f"known kinds: {', '.join(_KNOWN_KINDS)}"
+        )
+    if len({(c.worker, c.step) for c in drains}) != len(drains):
+        raise ElasticSpecError(f"duplicate drain clause in {spec!r}")
+    plan = ElasticPlan(joins=tuple(joins), drains=tuple(drains), bounds=bounds)
+    return plan.validate(0)
+
+
+def canonical_elastic_spec(spec: Optional[str]) -> str:
+    """Canonical form of a membership spec (parse → to_spec round-trip)."""
+    return parse_elastic_spec(spec).to_spec()
+
+
+# -- scale policies ----------------------------------------------------------
+
+
+class ScalePolicy:
+    """Deterministic world-size policy over the controller's signals.
+
+    ``decide`` receives a read-only snapshot of the signal stream, the
+    current world size, the step, a mutable ``state`` dict (checkpointed by
+    the controller) and an RNG keyed on ``(seed, step)`` for tie-breaks.
+    It returns the *desired* world size; the controller clamps to the
+    configured bounds and converts the difference into join/drain actions.
+    """
+
+    name = "abstract"
+
+    def decide(
+        self,
+        signals: Dict[str, float],
+        world_size: int,
+        step: int,
+        state: Dict,
+        rng: np.random.Generator,
+    ) -> int:
+        raise NotImplementedError
+
+
+class NoScalePolicy(ScalePolicy):
+    """Plan-only elasticity: never proposes a change."""
+
+    name = "none"
+
+    def decide(self, signals, world_size, step, state, rng):
+        return world_size
+
+
+class GoodputHillClimb(ScalePolicy):
+    """Hill-climb on goodput (samples per sim-second).
+
+    Probes upward first; after every decision compares the goodput EWMA
+    against its value at the previous decision and keeps the direction
+    while goodput improves, reversing when it degrades. With PS-bound
+    communication this walks the cluster toward the size where adding a
+    worker stops paying for its sync cost.
+    """
+
+    name = "goodput"
+
+    #: Relative improvement below which a probe counts as a regression.
+    rel_eps = 0.01
+
+    def decide(self, signals, world_size, step, state, rng):
+        goodput = signals.get("elastic.goodput", float("nan"))
+        if not np.isfinite(goodput):
+            return world_size
+        prev = state.get("prev_goodput")
+        direction = int(state.get("direction", 1))
+        if prev is not None and goodput < prev * (1.0 + self.rel_eps):
+            direction = -direction
+        state["direction"] = direction
+        state["prev_goodput"] = float(goodput)
+        return world_size + direction
+
+
+class CommFractionPolicy(ScalePolicy):
+    """Keep the communication fraction of step time inside a band.
+
+    Above ``hi`` the sync phase dominates (more workers only deepen the PS
+    ingress collapse of Fig. 1a): shrink. Below ``lo`` compute dominates:
+    grow. Stateless, so trivially deterministic.
+    """
+
+    name = "comm"
+
+    lo = 0.15
+    hi = 0.45
+
+    def decide(self, signals, world_size, step, state, rng):
+        frac = signals.get("elastic.comm_fraction", float("nan"))
+        if not np.isfinite(frac):
+            return world_size
+        if frac > self.hi:
+            return world_size - 1
+        if frac < self.lo:
+            return world_size + 1
+        return world_size
+
+
+SCALE_POLICIES: Dict[str, type] = {
+    p.name: p for p in (NoScalePolicy, GoodputHillClimb, CommFractionPolicy)
+}
+
+
+def make_scale_policy(name: str) -> ScalePolicy:
+    cls = SCALE_POLICIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown scale policy {name!r}; valid choices: "
+            f"{', '.join(sorted(SCALE_POLICIES))}"
+        )
+    return cls()
+
+
+# -- controller --------------------------------------------------------------
+
+
+@dataclass
+class MembershipActions:
+    """What the controller wants to happen at the start of one step."""
+
+    drains: List[int] = field(default_factory=list)  # ranks, current numbering
+    joins: int = 0
+    #: ``scale_decision`` event payload (also emitted on a hold), or None.
+    decision: Optional[Dict] = None
+
+    @property
+    def any_change(self) -> bool:
+        return bool(self.drains) or self.joins > 0
+
+
+@dataclass
+class ElasticContext:
+    """Everything a trainer needs to materialize membership changes.
+
+    Carries the same factories the workload was originally built from, so
+    a joiner's fresh replica and a repartitioned loader are constructed
+    exactly like the initial ones. ``partition_fn(n_samples, n_workers,
+    rng)`` must return a :class:`~repro.data.partition.Partition` over the
+    new world size (SelDP re-rotates, DefDP re-splits).
+    """
+
+    model_factory: object
+    optimizer_factory: object
+    dataset: object
+    batch_size: int
+    partition_fn: object
+    reshuffle: bool = True
+    loss_factory: Optional[object] = None
+
+
+class ElasticController:
+    """Deterministic membership/autoscale decisions for one training run.
+
+    Owns the plan, the policy, the stable-uid ledger and the live signal
+    stream (a :class:`MetricsRegistry` — the same instrument kind the
+    tracer exposes, so the policy literally reads an ``obs.metrics``
+    stream; the tracer's registry is mirrored, never read, keeping traced
+    and untraced runs bitwise identical).
+    """
+
+    def __init__(
+        self,
+        plan: ElasticPlan,
+        policy: Optional[ScalePolicy] = None,
+        min_workers: int = DEFAULT_MIN_WORKERS,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        seed: int = 0,
+        decide_every: int = DEFAULT_DECIDE_EVERY,
+        cooldown: int = DEFAULT_COOLDOWN,
+        boot_s: float = PROVISION_BOOT_S,
+    ):
+        if min_workers < 1 or min_workers > max_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"[{min_workers}, {max_workers}]"
+            )
+        if decide_every < 1:
+            raise ValueError(f"decide_every must be >= 1, got {decide_every}")
+        self.plan = plan
+        self.policy = policy if policy is not None else NoScalePolicy()
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.seed = int(seed)
+        self.decide_every = int(decide_every)
+        self.cooldown = int(cooldown)
+        self.boot_s = float(boot_s)
+        #: Live signal stream the policy reads (obs.metrics machinery).
+        self.metrics = MetricsRegistry()
+        # Stable uids, parallel to the trainer's worker list.
+        self.uids: List[int] = []
+        self._next_uid = 0
+        # Per-rank compute-time EWMAs — the straggler signal scale-down
+        # drains by; parallel to the worker list.
+        self._compute_ewma: List[float] = []
+        self._goodput = float("nan")
+        self._sync_ewma = float("nan")
+        self._comm_frac = float("nan")
+        self._samples = 0.0
+        self._sim_seconds = 0.0
+        self._worker_seconds = 0.0
+        self._last_change_step = -(10**9)
+        self._policy_state: Dict = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self, n_workers: int) -> None:
+        """Adopt the initial membership (called once by the trainer)."""
+        if self.uids:
+            return
+        self.uids = list(range(n_workers))
+        self._next_uid = n_workers
+        self._compute_ewma = [float("nan")] * n_workers
+
+    # -- decisions ---------------------------------------------------------
+    def actions_for_step(self, step: int, world_size: int) -> MembershipActions:
+        """Plan events scheduled at ``step`` plus any policy decision.
+
+        Plan clauses win: on a step with scheduled joins/drains the policy
+        sits out (its signals will reflect the new size by the next
+        decision point). Policy decisions fire every ``decide_every``
+        steps, respect the cooldown after any applied change, and are
+        clamped to ``[min_workers, max_workers]``.
+        """
+        acts = MembershipActions(
+            drains=self.plan.drains_at(step), joins=self.plan.joins_at(step)
+        )
+        if acts.any_change:
+            return acts
+        if (
+            isinstance(self.policy, NoScalePolicy)
+            or step == 0
+            or step % self.decide_every != 0
+            or step - self._last_change_step < self.cooldown
+            or self._sim_seconds <= 0.0
+        ):
+            return acts
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 0x5CA1E, step])
+        )
+        desired = self.policy.decide(
+            self.signals(), world_size, step, self._policy_state, rng
+        )
+        desired = max(self.min_workers, min(self.max_workers, int(desired)))
+        acts.decision = {
+            "policy": self.policy.name,
+            "current": int(world_size),
+            "desired": int(desired),
+            "applied": bool(desired != world_size),
+        }
+        g = self._goodput
+        if np.isfinite(g):
+            acts.decision["goodput"] = float(g)
+        if desired > world_size:
+            acts.joins = desired - world_size
+        elif desired < world_size:
+            acts.drains = self.drain_candidates(world_size - desired)
+        return acts
+
+    def drain_candidates(self, count: int) -> List[int]:
+        """Ranks to drain on scale-down: worst compute-time EWMA first
+        (the stragglers), deterministic tie-break on the higher rank."""
+        ewma = np.asarray(self._compute_ewma, dtype=np.float64)
+        # Ranks with no signal yet sort last (keep them; they are new).
+        keys = np.where(np.isfinite(ewma), ewma, -np.inf)
+        order = sorted(range(len(keys)), key=lambda r: (-keys[r], -r))
+        return sorted(order[:count])
+
+    # -- membership bookkeeping -------------------------------------------
+    def on_drain(self, rank: int, step: int) -> int:
+        """Record a drain of ``rank``; returns the departing stable uid."""
+        uid = self.uids.pop(rank)
+        self._compute_ewma.pop(rank)
+        self._last_change_step = step
+        return uid
+
+    def on_join(self, step: int) -> int:
+        """Record one joiner; returns its freshly assigned stable uid."""
+        uid = self._next_uid
+        self._next_uid += 1
+        self.uids.append(uid)
+        self._compute_ewma.append(float("nan"))
+        self._last_change_step = step
+        return uid
+
+    def provision_seconds(self, joins: int, net, comm_bytes: float) -> float:
+        """Sim-second cost of provisioning this step's joiners: a fixed
+        boot charge plus the model pull, via the network cost model.
+        Joiners provision in parallel, so one transfer is charged."""
+        if joins <= 0:
+            return 0.0
+        return self.boot_s + net.transfer_time(comm_bytes)
+
+    # -- signal stream -----------------------------------------------------
+    def observe_step(
+        self,
+        step: int,
+        rec,
+        world_size: int,
+        batch_size: int,
+        compute_times: Optional[Sequence[float]],
+    ) -> None:
+        """Fold one completed step into the signal stream.
+
+        Mirrors the gauges/counters into the active tracer's registry (the
+        ``cluster.world_size`` gauge and goodput/cost-efficiency counters)
+        — mirroring only, so tracing stays purely observational.
+        """
+        samples = float(world_size * batch_size)
+        self._samples += samples
+        self._sim_seconds += float(rec.sim_time)
+        self._worker_seconds += float(world_size * rec.sim_time)
+        if rec.sim_time > 0:
+            inst = samples / float(rec.sim_time)
+            self._goodput = _ewma(self._goodput, inst)
+            self._comm_frac = _ewma(
+                self._comm_frac, float(rec.comm_time) / float(rec.sim_time)
+            )
+        self._sync_ewma = _ewma(self._sync_ewma, 1.0 if rec.synced else 0.0)
+        if compute_times is not None:
+            for r, t in enumerate(compute_times[:world_size]):
+                if r < len(self._compute_ewma):
+                    self._compute_ewma[r] = _ewma(
+                        self._compute_ewma[r], float(t)
+                    )
+        for name, value in self.signals().items():
+            if np.isfinite(value):
+                self.metrics.set(name, value)
+        tr = obs.active()
+        if tr is not None:
+            m = tr.metrics
+            m.set("cluster.world_size", float(world_size))
+            if np.isfinite(self._goodput):
+                m.set("elastic.goodput", float(self._goodput))
+            m.inc("elastic.samples", samples)
+            m.inc("elastic.worker_seconds", float(world_size * rec.sim_time))
+
+    def signals(self) -> Dict[str, float]:
+        """Snapshot of the signal stream the policy decides over."""
+        ewma = np.asarray(self._compute_ewma, dtype=np.float64)
+        finite = ewma[np.isfinite(ewma)]
+        spread = (
+            float(finite.max() / np.median(finite))
+            if finite.size and np.median(finite) > 0
+            else float("nan")
+        )
+        return {
+            "elastic.goodput": float(self._goodput),
+            "elastic.sync_ratio": float(self._sync_ewma),
+            "elastic.comm_fraction": float(self._comm_frac),
+            "elastic.straggle_spread": spread,
+            "elastic.samples": float(self._samples),
+            "elastic.sim_seconds": float(self._sim_seconds),
+            "elastic.worker_seconds": float(self._worker_seconds),
+        }
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict:
+        return {
+            "uids": list(self.uids),
+            "next_uid": int(self._next_uid),
+            "compute_ewma": [float(x) for x in self._compute_ewma],
+            "goodput": float(self._goodput),
+            "sync_ewma": float(self._sync_ewma),
+            "comm_frac": float(self._comm_frac),
+            "samples": float(self._samples),
+            "sim_seconds": float(self._sim_seconds),
+            "worker_seconds": float(self._worker_seconds),
+            "last_change_step": int(self._last_change_step),
+            "policy_state": dict(self._policy_state),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.uids = [int(u) for u in state["uids"]]
+        self._next_uid = int(state["next_uid"])
+        self._compute_ewma = [float(x) for x in state["compute_ewma"]]
+        self._goodput = float(state["goodput"])
+        self._sync_ewma = float(state["sync_ewma"])
+        self._comm_frac = float(state["comm_frac"])
+        self._samples = float(state["samples"])
+        self._sim_seconds = float(state["sim_seconds"])
+        self._worker_seconds = float(state["worker_seconds"])
+        self._last_change_step = int(state["last_change_step"])
+        self._policy_state = dict(state.get("policy_state", {}))
+
+
+def _ewma(current: float, value: float, alpha: float = SIGNAL_ALPHA) -> float:
+    if not np.isfinite(current):
+        return float(value)
+    return float((1.0 - alpha) * current + alpha * value)
+
+
+def derive_rng_seed(seed: int, salt: int, step: int) -> int:
+    """Deterministic child seed keyed on ``(seed, salt, step)`` — the
+    stream repartitioned loaders and resized compute models draw from."""
+    return int(
+        np.random.SeedSequence([int(seed), int(salt), int(step)]).generate_state(1)[0]
+    )

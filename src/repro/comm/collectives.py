@@ -118,6 +118,25 @@ class SimGroup:
         #: ledger, mirroring the sharded server's.
         self.degraded_shard_rounds: int = 0
 
+    # -- membership --------------------------------------------------------
+    def resize(self, n_workers: int, shard_spec: Optional[ShardSpec] = None):
+        """Adopt a new world size after an elastic membership change.
+
+        Topology objects are stateless over the group size (every
+        ``sync_time`` takes ``n_workers`` explicitly), so a resize is just
+        the new count plus fresh shard geometry; byte/op counters carry
+        over — they ledger the whole run, not one membership epoch.
+        """
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.shard_spec = (
+            shard_spec
+            if shard_spec is not None and shard_spec.n_shards > 1
+            else None
+        )
+        self._shard_absent = {}
+
     # -- step context ------------------------------------------------------
     def begin_step(self, step: int) -> None:
         """Install the step every subsequent link-fault draw is keyed on.

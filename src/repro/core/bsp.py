@@ -40,6 +40,16 @@ class BSPTrainer(DistributedTrainer):
             # Per-worker clones so error-feedback state stays rank-local.
             self._compressors = [compressor.clone() for _ in workers]
 
+    def _resize_per_worker_state(self, mapping):
+        """Realign per-worker compressor clones (error-feedback residuals
+        are rank-local); joiners start from a fresh clone."""
+        if self._compressors is None:
+            return
+        self._compressors = [
+            self._compressors[old] if old is not None else self.compressor.clone()
+            for old in mapping
+        ]
+
     def _extra_state(self):
         if self._compressors is None:
             return {}

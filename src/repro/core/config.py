@@ -7,6 +7,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.cluster.compute import ComputeModel
+from repro.cluster.elastic import (
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_MIN_WORKERS,
+    SCALE_POLICIES,
+    ElasticController,
+    make_scale_policy,
+    parse_elastic_spec,
+)
 from repro.cluster.executor import EXECUTOR_KINDS, WorkerExecutor, make_executor
 from repro.cluster.faults import (
     FaultInjector,
@@ -128,6 +136,21 @@ class ClusterConfig:
     health_threshold: float = 3.0
     #: Steps a quarantined worker sits out before reinstatement.
     probation: int = 20
+    #: Elastic membership plan spec (see :mod:`repro.cluster.elastic`),
+    #: e.g. ``"join:+2@100,drain:w3@50,scale:4..12"``. ``None``/empty/
+    #: ``"off"`` (the default) disables the elastic subsystem entirely —
+    #: runs are then bitwise-identical to builds without it.
+    elastic_spec: Optional[str] = None
+    #: Metrics-driven autoscale policy (see
+    #: :data:`repro.cluster.elastic.SCALE_POLICIES`): ``"none"`` (plan-only
+    #: elasticity, the default), ``"goodput"`` or ``"comm"``. Any value
+    #: other than ``"none"`` enables the elastic subsystem.
+    scale_policy: str = "none"
+    #: World-size bounds for the autoscaler. ``None`` defers to the plan's
+    #: ``scale:MIN..MAX`` clause (or wide defaults). Explicit values win
+    #: over the clause.
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -193,6 +216,75 @@ class ClusterConfig:
             )
         if self.probation < 1:
             raise ValueError(f"probation must be >= 1, got {self.probation}")
+        # Elastic membership: parse eagerly (bad clauses fail loudly at
+        # configuration time) and keep validation lenient about ranks —
+        # membership changes resize n_workers mid-run via replace(), which
+        # reruns this hook against the *current* size.
+        parse_elastic_spec(self.elastic_spec).validate(self.n_workers)
+        if self.scale_policy not in SCALE_POLICIES:
+            raise ValueError(
+                f"scale_policy must be one of "
+                f"{sorted(SCALE_POLICIES)}, got {self.scale_policy!r}"
+            )
+        if self.min_workers is not None and self.min_workers < 1:
+            raise ValueError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if (
+            self.min_workers is not None
+            and self.max_workers is not None
+            and self.min_workers > self.max_workers
+        ):
+            raise ValueError(
+                f"min_workers ({self.min_workers}) must be <= "
+                f"max_workers ({self.max_workers})"
+            )
+        if self.elastic_enabled:
+            if self.fault_spec:
+                raise ValueError(
+                    "elastic membership cannot be combined with fault_spec "
+                    "(fault windows are keyed to fixed worker ids)"
+                )
+            if self.net_fault_spec:
+                raise ValueError(
+                    "elastic membership cannot be combined with "
+                    "net_fault_spec (link faults are keyed to fixed ranks)"
+                )
+            if self.speeds is not None:
+                raise ValueError(
+                    "elastic membership cannot be combined with explicit "
+                    "per-worker speeds (the speed vector is fixed-size)"
+                )
+
+    @property
+    def elastic_enabled(self) -> bool:
+        """True when any membership clause is scheduled or an autoscale
+        policy is active — the opt-in gate for the elastic subsystem."""
+        return (
+            not parse_elastic_spec(self.elastic_spec).empty
+            or self.scale_policy != "none"
+        )
+
+    def make_elastic(self) -> Optional[ElasticController]:
+        """Elastic membership controller, or ``None`` when the subsystem is
+        off — callers short-circuit on ``None`` so fixed-membership runs
+        never touch the elastic code path at all."""
+        if not self.elastic_enabled:
+            return None
+        plan = parse_elastic_spec(self.elastic_spec)
+        lo = plan.bounds.lo if plan.bounds is not None else DEFAULT_MIN_WORKERS
+        hi = plan.bounds.hi if plan.bounds is not None else DEFAULT_MAX_WORKERS
+        if self.min_workers is not None:
+            lo = self.min_workers
+        if self.max_workers is not None:
+            hi = self.max_workers
+        return ElasticController(
+            plan,
+            policy=make_scale_policy(self.scale_policy),
+            min_workers=lo,
+            max_workers=hi,
+            seed=self.seed,
+        )
 
     @property
     def effective_quorum(self) -> int:

@@ -62,6 +62,16 @@ class EASGDTrainer(DistributedTrainer):
         self.tau = tau
         self.center = workers[0].get_params()
 
+    def _resize_per_worker_state(self, mapping):
+        # The center variable is parameter-shaped (membership-independent);
+        # only the stability bound N*rho <= 1 must re-hold at the new size.
+        n = len(mapping)
+        if self.rho * n > 1.0:
+            raise ValueError(
+                f"elastic scale-up breaks EASGD stability: N*rho = "
+                f"{self.rho * n:.2f} > 1 at world size {n}"
+            )
+
     def step(self, i: int) -> IterationRecord:
         sf = self.begin_faults(i)
         degraded = self.degraded_mode

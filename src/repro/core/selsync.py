@@ -261,6 +261,19 @@ class SelSyncTrainer(DistributedTrainer):
             # worker; restart the EWMA (first update re-seeds it).
             self.trackers[worker_id].reset()
 
+    def _resize_per_worker_state(self, mapping):
+        """Realign the per-worker Δ trackers with the new membership:
+        surviving workers keep their EWMA history, joiners (and every rank
+        on an elastic resume) start a fresh tracker with the original
+        smoothing parameters."""
+        proto = self.trackers[0]
+        self.trackers = [
+            self.trackers[old]
+            if old is not None
+            else RelativeGradChange(alpha=proto.alpha, window=proto.window)
+            for old in mapping
+        ]
+
     def _extra_state(self):
         state = {"trackers": [t.state_dict() for t in self.trackers]}
         if self.delta_policy is not None:

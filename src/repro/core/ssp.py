@@ -51,6 +51,12 @@ class SSPTrainer(DistributedTrainer):
                 "supported here (the PS-side non-finite guard and the "
                 "norm_clip async transform still protect the globals)"
             )
+        if self.elastic is not None:
+            raise NotImplementedError(
+                "SSP's event-driven loop has no step boundary at which to "
+                "apply a membership change; elastic scaling is not "
+                "supported here"
+            )
         self.staleness = staleness
 
     def _push_pull_time(self) -> float:

@@ -24,13 +24,16 @@ untraced one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.cluster.compute import ComputeModel
+from repro.cluster.elastic import ElasticContext, derive_rng_seed
 from repro.cluster.faults import QuorumLostError, StepFaults
+from repro.data.loader import BatchLoader
 from repro.cluster.server import ParameterServer, ShardedParameterServer
 from repro.cluster.worker import SimWorker
 from repro.core.config import ClusterConfig, TrainConfig
@@ -45,6 +48,13 @@ from repro.utils.serialization import (
     runlog_to_jsonable,
     save_checkpoint,
 )
+
+# Salts for the (seed, salt, step)-keyed RNG streams a membership change
+# draws from — never the trainer streams, so elastic decisions and the
+# post-resize jitter/partition draws are executor- and resume-independent.
+_REPART_SALT = 0x9E1A57
+_LOADER_SALT = 0x10ADE5
+_COMPUTE_SALT = 0xC03B17
 
 
 @dataclass
@@ -164,6 +174,15 @@ class DistributedTrainer:
         # restore their rank state from it (crash-recovery semantics).
         self._latest_checkpoint: Optional[Dict] = None
         self._log: Optional[RunLog] = None
+        # Elastic membership controller; ``None`` (the default) keeps the
+        # fixed-membership fast path — no elastic code runs anywhere, and
+        # checkpoints never grow the "elastic" key.
+        self.elastic = cluster.make_elastic()
+        if self.elastic is not None:
+            self.elastic.attach(cluster.n_workers)
+        # Workload factories membership changes are materialized from
+        # (joiner replicas, repartitioned loaders); see :meth:`bind_elastic`.
+        self.elastic_ctx: Optional[ElasticContext] = None
 
     # -- subclass interface -----------------------------------------------
     def step(self, i: int) -> IterationRecord:
@@ -179,6 +198,14 @@ class DistributedTrainer:
     def _on_worker_rejoin(self, worker_id: int, from_checkpoint: bool) -> None:
         """Hook for trainer-local per-worker state on rejoin (e.g. SelSync
         restores or resets the worker's Δ tracker)."""
+
+    def _resize_per_worker_state(self, mapping: Sequence[Optional[int]]) -> None:
+        """Hook for trainer-local per-worker state across an elastic
+        membership change. ``mapping[new_rank]`` is the worker's rank
+        before the change, or ``None`` for a fresh joiner (and for every
+        rank on an elastic resume, where the checkpointed state is loaded
+        immediately after). Trainers holding per-worker lists (SelSync's Δ
+        trackers, BSP's compressors) realign them here."""
 
     # -- shared helpers --------------------------------------------------------
     def lr(self, i: int) -> float:
@@ -776,6 +803,231 @@ class DistributedTrainer:
             model.train()
             self.restore_model(saved)
 
+    # -- elastic membership ------------------------------------------------
+    def bind_elastic(self, ctx: ElasticContext) -> None:
+        """Install the workload factories membership changes are built
+        from. Required before any join or repartition can materialize; the
+        experiment runner and CLI bind it automatically whenever the
+        elastic subsystem is enabled."""
+        self.elastic_ctx = ctx
+
+    def _apply_membership(self, i: int) -> float:
+        """Open step ``i`` under the membership plan/autoscale policy.
+
+        Applies scheduled drains (descending rank so indices stay valid;
+        survivors are renumbered densely), bootstraps joiners from the
+        donor-consensus parameters via :meth:`SimWorker.resync`,
+        re-partitions the dataset over the new world size, rebuilds every
+        size-dependent runtime piece, and returns the provisioning delay
+        (sim-seconds) charged to the step that admitted the joiners.
+        """
+        acts = self.elastic.actions_for_step(i, len(self.workers))
+        tr = obs.active()
+        if acts.decision is not None and tr is not None:
+            tr.emit("scale_decision", step=i, **acts.decision)
+        if not acts.any_change:
+            return 0.0
+        ctx = self.elastic_ctx
+        if ctx is None:
+            raise RuntimeError(
+                f"step {i}: elastic membership change scheduled but no "
+                "ElasticContext is bound; call bind_elastic(...) before run()"
+            )
+        size_before = len(self.workers)
+        for rank in acts.drains:
+            if not 0 <= rank < size_before:
+                raise ValueError(
+                    f"step {i}: drain of rank {rank} out of range for "
+                    f"world size {size_before}"
+                )
+        if size_before - len(acts.drains) < 1:
+            raise ValueError(
+                f"step {i}: draining {len(acts.drains)} of {size_before} "
+                "workers would empty the cluster"
+            )
+        mapping: List[Optional[int]] = list(range(size_before))
+        for rank in sorted(set(acts.drains), reverse=True):
+            uid = self.elastic.on_drain(rank, i)
+            self.workers.pop(rank)
+            mapping.pop(rank)
+            if tr is not None:
+                tr.emit(
+                    "membership",
+                    step=i,
+                    worker=rank,
+                    action="drain",
+                    uid=uid,
+                    size_before=size_before,
+                    size_after=len(self.workers),
+                )
+        if acts.joins:
+            consensus = np.array(
+                self.mean_params(), dtype=np.float64, copy=True
+            )
+            # Placeholder order only — _repartition below hands every
+            # worker (joiners included) its real order for the new size.
+            placeholder = np.arange(len(ctx.dataset))
+            extra_kwargs = (
+                {} if ctx.loss_factory is None
+                else {"loss_factory": ctx.loss_factory}
+            )
+            for _ in range(acts.joins):
+                uid = self.elastic.on_join(i)
+                model = ctx.model_factory()
+                loader = BatchLoader(
+                    ctx.dataset,
+                    placeholder,
+                    batch_size=ctx.batch_size,
+                    reshuffle=ctx.reshuffle,
+                    rng=0,
+                )
+                w = SimWorker(
+                    len(self.workers),
+                    model,
+                    ctx.optimizer_factory(model),
+                    loader,
+                    **extra_kwargs,
+                )
+                w.resync(consensus)
+                self.workers.append(w)
+                mapping.append(None)
+                if tr is not None:
+                    tr.emit(
+                        "membership",
+                        step=i,
+                        worker=w.worker_id,
+                        action="join",
+                        uid=uid,
+                        bootstrap="donor_consensus",
+                        size_before=size_before,
+                        size_after=len(self.workers),
+                    )
+        for rank, w in enumerate(self.workers):
+            w.worker_id = rank
+        self._repartition(i)
+        self._resize_runtime(i)
+        self._resize_per_worker_state(mapping)
+        return self.elastic.provision_seconds(
+            acts.joins, self.cluster.net, self.comm_bytes
+        )
+
+    def _repartition(self, i: int) -> None:
+        """Re-split the dataset over the current world size.
+
+        The partition and loader RNGs are keyed on ``(seed, step)`` — never
+        a trainer stream — so the new orders are identical across executors
+        and across a resume boundary. SelDP's chunk rotation reruns over
+        the new N, so every worker's order still covers the full dataset.
+        """
+        ctx = self.elastic_ctx
+        n = len(self.workers)
+        part = ctx.partition_fn(
+            len(ctx.dataset),
+            n,
+            np.random.default_rng(
+                np.random.SeedSequence([self.cluster.seed, _REPART_SALT, i])
+            ),
+        )
+        loaders = BatchLoader.for_workers(
+            ctx.dataset,
+            part,
+            batch_size=ctx.batch_size,
+            reshuffle=ctx.reshuffle,
+            seed=derive_rng_seed(self.cluster.seed, _LOADER_SALT, i),
+        )
+        for w, loader in zip(self.workers, loaders):
+            w.loader = loader
+        covered = set()
+        for r in range(n):
+            covered.update(int(x) for x in part[r])
+        tr = obs.active()
+        if tr is not None:
+            tr.emit(
+                "repartition",
+                step=i,
+                scheme=getattr(part, "scheme", "unknown"),
+                n_workers=n,
+                n_samples=int(len(ctx.dataset)),
+                coverage=len(covered) / max(1, len(ctx.dataset)),
+            )
+
+    def _resize_runtime(self, i: int) -> None:
+        """Rebuild every size-dependent runtime piece for the new world
+        size: the cluster config is re-derived (quorum floors clamp to the
+        new membership), the jitter stream restarts from a ``(seed,
+        step)``-keyed draw, the group/topology and PS shard geometry adopt
+        the new count, health tracking restarts over the new cohort
+        (outlier scores against a different cohort are not comparable),
+        and the executor re-pins to the new worker group — the process
+        pool re-forks its shared-memory arenas at the next compute call.
+        """
+        n = len(self.workers)
+        min_quorum = self.cluster.min_quorum
+        if min_quorum is not None:
+            min_quorum = min(min_quorum, n)
+        self.cluster = dataclass_replace(
+            self.cluster, n_workers=n, min_quorum=min_quorum
+        )
+        self.quorum = self.cluster.effective_quorum
+        self.faults = self.cluster.make_fault_injector()
+        self.compute = ComputeModel(
+            n,
+            device_flops=self.cluster.device_flops,
+            jitter_sigma=self.cluster.jitter_sigma,
+            rng=derive_rng_seed(self.cluster.seed, _COMPUTE_SALT, i),
+        )
+        self.group.resize(n, shard_spec=self.shard_spec)
+        if self.health is not None:
+            self.health = self.cluster.make_health()
+        if self.degraded_mode:
+            self.server.expected_contributors = n
+        self._last_compute_times = None
+        self._current_live = None
+        self.executor.shutdown()
+        self.executor.bind(self.workers)
+
+    def _rebuild_for_resume(self, state: Dict) -> None:
+        """Adopt a checkpoint taken at a different world size.
+
+        Only reachable with the elastic subsystem on: fresh replicas are
+        built from the bound factories, each loader starts from the
+        checkpointed order (the state load right after makes it exact),
+        and the runtime resizes before the regular restore proceeds.
+        """
+        ctx = self.elastic_ctx
+        if ctx is None:
+            raise RuntimeError(
+                "resuming across a membership change requires an "
+                "ElasticContext; call bind_elastic(...) before run()"
+            )
+        extra_kwargs = (
+            {} if ctx.loss_factory is None
+            else {"loss_factory": ctx.loss_factory}
+        )
+        workers: List[SimWorker] = []
+        for rank, ws in enumerate(state["workers"]):
+            model = ctx.model_factory()
+            loader = BatchLoader(
+                ctx.dataset,
+                np.asarray(ws["loader"]["order"]),
+                batch_size=ctx.batch_size,
+                reshuffle=ctx.reshuffle,
+                rng=0,
+            )
+            workers.append(
+                SimWorker(
+                    rank, model, ctx.optimizer_factory(model), loader,
+                    **extra_kwargs,
+                )
+            )
+        # In-place so external holders of the worker list (the built
+        # workload, a bound executor) observe the new membership too.
+        self.workers[:] = workers
+        # The compute RNG seed here is irrelevant — its bit-generator
+        # state is restored from the checkpoint immediately after.
+        self._resize_runtime(0)
+        self._resize_per_worker_state([None] * len(workers))
+
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> Dict:
         """Snapshot of everything that evolves during training: server,
@@ -792,14 +1044,24 @@ class DistributedTrainer:
         # checkpoints byte-identical to builds without the subsystem.
         if self.health is not None:
             state["health"] = self.health.state_dict()
+        # Same contract for the elastic subsystem: fixed-membership
+        # checkpoints never carry the key.
+        if self.elastic is not None:
+            state["elastic"] = {
+                "world_size": len(self.workers),
+                "controller": self.elastic.state_dict(),
+            }
         return state
 
     def load_state_dict(self, state: Dict) -> None:
         if len(state["workers"]) != len(self.workers):
-            raise ValueError(
-                f"checkpoint has {len(state['workers'])} workers, "
-                f"trainer has {len(self.workers)}"
-            )
+            if self.elastic is not None and "elastic" in state:
+                self._rebuild_for_resume(state)
+            else:
+                raise ValueError(
+                    f"checkpoint has {len(state['workers'])} workers, "
+                    f"trainer has {len(self.workers)}"
+                )
         self.server.load_state_dict(state["server"])
         for w, ws in zip(self.workers, state["workers"]):
             w.load_state_dict(ws)
@@ -807,6 +1069,8 @@ class DistributedTrainer:
         self.group.load_state_dict(state["group"])
         if self.health is not None and "health" in state:
             self.health.load_state_dict(state["health"])
+        if self.elastic is not None and "elastic" in state:
+            self.elastic.load_state_dict(state["elastic"]["controller"])
         self._load_extra_state(state.get("extra", {}))
 
     def _write_checkpoint(
@@ -871,9 +1135,17 @@ class DistributedTrainer:
             with obs.use(cfg.tracer):
                 tr = obs.active()
                 for i in range(start_step, cfg.n_steps):
+                    provision_s = 0.0
+                    if self.elastic is not None:
+                        provision_s = self._apply_membership(i)
                     if tr is not None:
                         tr.emit("step_begin", step=i)
                     rec = self.step(i)
+                    if provision_s > 0.0:
+                        # Joiner provisioning (boot + model pull) is charged
+                        # in sim-seconds to the step that admitted them.
+                        rec.sim_time += provision_s
+                        rec.extra["provision_s"] = provision_s
                     clock += rec.sim_time
                     log.record_iteration(rec)
                     if tr is not None:
@@ -886,6 +1158,14 @@ class DistributedTrainer:
                             loss=rec.loss,
                             grad_change=rec.grad_change,
                             extra=dict(rec.extra),
+                        )
+                    if self.elastic is not None:
+                        self.elastic.observe_step(
+                            i,
+                            rec,
+                            len(self.workers),
+                            self.workers[0].loader.batch_size,
+                            self._last_compute_times,
                         )
                     if cfg.step_monitor is not None:
                         cfg.step_monitor(self, i)

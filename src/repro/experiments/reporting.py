@@ -152,16 +152,53 @@ def render_run_dashboard(tracer) -> str:
         lo = min(finite) if finite else 0.0
         hi = max(finite) if finite else 1.0
         span = (hi - lo) or 1.0
+        absent = views.absence_matrix(events, buckets=matrix.shape[1])
         lines.append("")
-        lines.append("straggler heatmap (rows=workers, cols=time, dark=slow):")
+        lines.append(
+            "straggler heatmap (rows=workers, cols=time, dark=slow; "
+            "x=departed, q=quarantined):"
+        )
         for wid, row in enumerate(matrix):
-            cells = "".join(
-                "?" if v != v else _SHADES[
-                    min(len(_SHADES) - 1, int((v - lo) / span * (len(_SHADES) - 1)))
-                ]
-                for v in row
+            cells = []
+            for b, v in enumerate(row):
+                code = 0 if absent is None else int(absent[wid, b])
+                if code == 1:
+                    cells.append("x")
+                elif code == 2:
+                    cells.append("q")
+                elif v != v:
+                    cells.append("?")
+                else:
+                    cells.append(
+                        _SHADES[
+                            min(
+                                len(_SHADES) - 1,
+                                int((v - lo) / span * (len(_SHADES) - 1)),
+                            )
+                        ]
+                    )
+            lines.append(f"  w{wid:<3d} |{''.join(cells)}|")
+    timeline = views.membership_timeline(events)
+    if timeline:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["step", "event", "worker", "uid", "world", "coverage"],
+                [
+                    [
+                        t["step"],
+                        t["action"],
+                        "-" if t["worker"] is None or t["worker"] < 0
+                        else f"w{t['worker']}",
+                        "-" if t.get("uid") is None else t["uid"],
+                        t.get("size_after"),
+                        t.get("coverage"),
+                    ]
+                    for t in timeline
+                ],
+                title="membership timeline:",
             )
-            lines.append(f"  w{wid:<3d} |{cells}|")
+        )
     retries = views.retry_series(events)
     reroutes = views.reroute_series(events)
     if (retries is not None and retries.any()) or (

@@ -57,7 +57,12 @@ class MethodSpec:
 
 def build_trainer(spec: MethodSpec, built: BuiltWorkload) -> DistributedTrainer:
     cls = _TRAINERS[spec.kind]
-    return cls(built.workers, built.cluster, schedule=built.schedule, **spec.params)
+    trainer = cls(
+        built.workers, built.cluster, schedule=built.schedule, **spec.params
+    )
+    if trainer.elastic is not None and built.elastic_context is not None:
+        trainer.bind_elastic(built.elastic_context)
+    return trainer
 
 
 def run_method(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.elastic import ElasticContext
 from repro.cluster.worker import SimWorker, build_worker_group
 from repro.core.config import ClusterConfig
 from repro.core.evaluation import accuracy_eval, perplexity_eval
@@ -45,6 +46,10 @@ class BuiltWorkload:
     partition: Partition
     batch_size: int
     steps_per_epoch: int
+    #: Factories for elastic membership changes (joiner replicas and
+    #: repartitioned loaders built exactly like the initial ones); the
+    #: runner binds this to the trainer whenever elasticity is enabled.
+    elastic_context: Optional[ElasticContext] = None
 
 
 @dataclass
@@ -124,16 +129,21 @@ class Workload:
         train, test = build_dataset(self.dataset_name, rng=seed, **ds_kwargs)
 
         b = self.batch_size if batch_size is None else batch_size
+        # One (n_samples, n_workers, rng) -> Partition closure serves both
+        # the initial split and any elastic repartition over a new world
+        # size (SelDP re-rotates, DefDP re-splits, noniid re-skews).
         if partition_scheme == "seldp":
-            part = selsync_partition(len(train), n_workers, rng=seed + 1)
+            partition_fn = selsync_partition
         elif partition_scheme == "defdp":
-            part = default_partition(len(train), n_workers, rng=seed + 1)
+            partition_fn = default_partition
         elif partition_scheme == "noniid":
-            part = label_skew_partition(
-                train.labels, n_workers, labels_per_worker, rng=seed + 1
-            )
+            def partition_fn(n_samples, n, rng=None):
+                return label_skew_partition(
+                    train.labels, n, labels_per_worker, rng=rng
+                )
         else:
             raise ValueError(f"unknown partition scheme {partition_scheme!r}")
+        part = partition_fn(len(train), n_workers, rng=seed + 1)
 
         loaders = BatchLoader.for_workers(train, part, batch_size=b, seed=seed + 2)
 
@@ -168,6 +178,13 @@ class Workload:
             partition=part,
             batch_size=b,
             steps_per_epoch=loaders[0].steps_per_epoch,
+            elastic_context=ElasticContext(
+                model_factory=model_factory,
+                optimizer_factory=opt_factory,
+                dataset=train,
+                batch_size=b,
+                partition_fn=partition_fn,
+            ),
         )
 
 

@@ -62,6 +62,9 @@ EVENT_TYPES = (
     "reroute",          # collective healed around dead links (mode/detail)
     "partition_detected",  # network partition onset: groups + majority side
     "shard_round",      # sharded PS round summary: n_shards/active/seconds
+    "membership",       # elastic join/drain: action/uid/rank/size change
+    "scale_decision",   # autoscaler verdict: policy/current/desired/applied
+    "repartition",      # data re-split over the new world size: coverage
 )
 
 #: Aggregation kinds carried by ``aggregation`` events.
@@ -237,6 +240,15 @@ class Tracer:
                 float(d.get("n_degraded", 0) or 0),
             )
             m.observe("shard.round_seconds", float(d.get("seconds", 0.0)))
+        elif ev.etype == "membership":
+            m.inc(f"elastic.{d.get('action', 'unknown')}s")
+            m.set("cluster.world_size", float(d.get("size_after", float("nan"))))
+        elif ev.etype == "scale_decision":
+            m.inc("elastic.scale_decisions")
+            if d.get("applied"):
+                m.inc("elastic.scale_applied")
+        elif ev.etype == "repartition":
+            m.inc("elastic.repartitions")
 
     # -- access / persistence ---------------------------------------------
     @property

@@ -102,7 +102,8 @@ def straggler_matrix(
     times each round). Each cell is the worker's mean compute time in that
     step bucket divided by the bucket's cluster-wide mean — 1.0 is
     "average speed", >1 is a straggler. NaN where a worker had no samples
-    (e.g. crashed for the whole bucket).
+    — a rank that did not exist in that bucket (elastic drain, or not yet
+    joined); :func:`absence_matrix` distinguishes those from quarantine.
     """
     phases = events_of_type(events, "compute_phase")
     if not phases:
@@ -117,16 +118,103 @@ def straggler_matrix(
     sums = np.zeros((n_workers, buckets))
     counts = np.zeros((n_workers, buckets))
     for e in phases:
-        times = e.data.get("times", [])
-        if len(times) != n_workers:
-            continue  # degraded round: live-subset times are not comparable
+        times = np.asarray(e.data.get("times", []), dtype=np.float64)
+        if times.size == 0:
+            continue
+        # Rows are ranks; under elastic membership a round can cover fewer
+        # (or more) ranks than the run's maximum, so accumulate exactly
+        # the ranks that computed this round — absent ranks collect no
+        # samples and surface as NaN instead of a stale zero row.
         b = min(buckets - 1, int((e.step - lo) / span))
-        sums[:, b] += np.asarray(times, dtype=np.float64)
-        counts[:, b] += 1.0
+        sums[: times.size, b] += times
+        counts[: times.size, b] += 1.0
     with np.errstate(invalid="ignore", divide="ignore"):
         mean = sums / counts
         rel = mean / np.nanmean(mean, axis=0, keepdims=True)
     return rel
+
+
+def absence_matrix(
+    events: Sequence[TraceEvent], buckets: int = 24
+) -> Optional[np.ndarray]:
+    """(n_workers, buckets) status codes aligned with
+    :func:`straggler_matrix`: 0 = active, 1 = departed (the rank did not
+    exist in that bucket — drained away, or not yet joined), 2 =
+    quarantined for (part of) the bucket. ``None`` without
+    ``compute_phase`` events.
+    """
+    phases = events_of_type(events, "compute_phase")
+    if not phases:
+        return None
+    n_workers = max(len(e.data.get("times", [])) for e in phases)
+    if n_workers == 0:
+        return None
+    steps = [e.step for e in phases]
+    lo, hi = min(steps), max(steps)
+    buckets = max(1, min(buckets, hi - lo + 1))
+    span = (hi - lo + 1) / buckets
+    present = np.zeros((n_workers, buckets), dtype=bool)
+    for e in phases:
+        k = len(e.data.get("times", []))
+        b = min(buckets - 1, int((e.step - lo) / span))
+        present[:k, b] = True
+    status = np.zeros((n_workers, buckets), dtype=np.int8)
+    status[~present] = 1
+    for e in events_of_type(events, "quarantine"):
+        w = e.worker
+        if not 0 <= w < n_workers:
+            continue
+        until = int(e.data.get("until", e.step))
+        b0 = min(buckets - 1, int((max(e.step, lo) - lo) / span))
+        b1 = min(buckets - 1, int((max(min(until, hi), lo) - lo) / span))
+        row = status[w, b0 : b1 + 1]
+        # Quarantine marks only buckets where the rank existed; a departed
+        # cell keeps its departure marker.
+        row[row == 0] = 2
+    return status
+
+
+def membership_timeline(events: Sequence[TraceEvent]) -> List[Dict]:
+    """Chronological membership changes for the dashboard timeline: one
+    row per ``membership``/``repartition`` event and per applied
+    ``scale_decision``. Empty for fixed-membership runs, so the dashboard
+    section appears exactly when elasticity ran."""
+    rows: List[Dict] = []
+    for e in events:
+        d = e.data
+        if e.etype == "membership":
+            rows.append(
+                {
+                    "step": e.step,
+                    "action": d.get("action", "?"),
+                    "worker": e.worker,
+                    "uid": d.get("uid"),
+                    "size_after": d.get("size_after"),
+                }
+            )
+        elif e.etype == "scale_decision" and d.get("applied"):
+            rows.append(
+                {
+                    "step": e.step,
+                    "action": f"scale[{d.get('policy', '?')}]",
+                    "worker": -1,
+                    "uid": None,
+                    "size_after": d.get("desired"),
+                }
+            )
+        elif e.etype == "repartition":
+            rows.append(
+                {
+                    "step": e.step,
+                    "action": "repartition",
+                    "worker": -1,
+                    "uid": None,
+                    "size_after": d.get("n_workers"),
+                    "coverage": d.get("coverage"),
+                }
+            )
+    rows.sort(key=lambda r: (r["step"], r["action"]))
+    return rows
 
 
 def _step_range(events: Sequence[TraceEvent]) -> Optional[range]:
